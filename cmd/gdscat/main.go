@@ -1,0 +1,84 @@
+// Command gdscat inspects GDSII files:
+//
+//	gdscat file.gds              # library summary
+//	gdscat -layers file.gds      # per-layer shape/area breakdown
+//
+// Only BOUNDARY elements are modeled; other record types are skipped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"dummyfill/internal/gdsii"
+	"dummyfill/internal/geom"
+)
+
+func main() {
+	layers := flag.Bool("layers", false, "print per-layer breakdown")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fatal(fmt.Errorf("usage: gdscat [-layers] <file.gds>"))
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	lib, err := gdsii.Read(f)
+	if err != nil {
+		fatal(err)
+	}
+	nb := 0
+	for _, st := range lib.Structs {
+		nb += len(st.Boundaries)
+	}
+	fmt.Printf("library %q: %d structures, %d boundaries, units user=%g meterDBU=%g\n",
+		lib.Name, len(lib.Structs), nb, lib.UserUnit, lib.MeterDBU)
+	for _, st := range lib.Structs {
+		fmt.Printf("  structure %q: %d boundaries\n", st.Name, len(st.Boundaries))
+	}
+	if !*layers {
+		return
+	}
+	wires, fills, err := lib.ExtractShapes()
+	if err != nil {
+		fatal(err)
+	}
+	type row struct {
+		layer int
+		kind  string
+		count int
+		area  int64
+		bbox  geom.Rect
+	}
+	var rows []row
+	add := func(kind string, m map[int][]geom.Rect) {
+		for li, rs := range m {
+			r := row{layer: li, kind: kind, count: len(rs)}
+			for _, rect := range rs {
+				r.area += rect.Area()
+				r.bbox = r.bbox.Union(rect)
+			}
+			rows = append(rows, r)
+		}
+	}
+	add("wire", wires)
+	add("fill", fills)
+	sort.Slice(rows, func(a, b int) bool {
+		if rows[a].layer != rows[b].layer {
+			return rows[a].layer < rows[b].layer
+		}
+		return rows[a].kind < rows[b].kind
+	})
+	for _, r := range rows {
+		fmt.Printf("  layer %d %s: %d shapes, area %d, bbox %v\n", r.layer, r.kind, r.count, r.area, r.bbox)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gdscat:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+// Command layout2svg renders a design (and optionally its fill solution)
+// as an SVG image, or a window-density heat map:
+//
+//	layout2svg -design tiny -o tiny.svg
+//	layout2svg -design tiny -fill -o tiny_filled.svg
+//	layout2svg -design tiny -heat -layer 0 -o heat.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	dummyfill "dummyfill"
+	"dummyfill/internal/render"
+	"dummyfill/internal/score"
+)
+
+func main() {
+	design := flag.String("design", "tiny", "design name: s, b, m or tiny")
+	doFill := flag.Bool("fill", false, "run the fill engine and draw the fills too")
+	heat := flag.Bool("heat", false, "render a window-density heat map instead of geometry")
+	layer := flag.Int("layer", 0, "layer for -heat")
+	width := flag.Int("width", 1000, "image width in px")
+	gridLines := flag.Bool("grid", true, "draw the window grid")
+	out := flag.String("o", "", "output SVG path (default <design>.svg)")
+	flag.Parse()
+
+	lay, _, err := dummyfill.GenerateBenchmark(*design)
+	if err != nil {
+		fatal(err)
+	}
+	sol := &dummyfill.Solution{}
+	if *doFill {
+		res, err := dummyfill.Insert(lay, dummyfill.DefaultOptions())
+		if err != nil {
+			fatal(err)
+		}
+		sol = &res.Solution
+	}
+	path := *out
+	if path == "" {
+		path = *design + ".svg"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	if *heat {
+		_, _, _, maps, err := score.MeasureDensity(lay, sol)
+		if err != nil {
+			fatal(err)
+		}
+		if *layer < 0 || *layer >= len(maps) {
+			fatal(fmt.Errorf("layer %d out of range (%d layers)", *layer, len(maps)))
+		}
+		if err := render.HeatSVG(f, maps[*layer], *width); err != nil {
+			fatal(err)
+		}
+	} else {
+		if err := render.SVG(f, lay, sol, render.Options{
+			PixelWidth: *width,
+			ShowGrid:   *gridLines,
+		}); err != nil {
+			fatal(err)
+		}
+	}
+	info, err := f.Stat()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", path, info.Size())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "layout2svg:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Command layoutgen generates one of the synthetic benchmark designs and
+// writes it as a GDSII file (wires only, datatype 0):
+//
+//	layoutgen -design s -o s.gds
+//
+// The file can be fed to fillgen and gdscat.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dummyfill/internal/gdsii"
+	"dummyfill/internal/synth"
+	"dummyfill/internal/textfmt"
+)
+
+func main() {
+	design := flag.String("design", "s", "design name: s, b, m or tiny")
+	out := flag.String("o", "", "output path (default <design>.gds or .txt)")
+	format := flag.String("format", "gds", "output format: gds or text")
+	stats := flag.Bool("stats", false, "print layout statistics")
+	flag.Parse()
+
+	sp, err := synth.ByName(*design)
+	if err != nil {
+		fatal(err)
+	}
+	lay, err := synth.Generate(sp)
+	if err != nil {
+		fatal(err)
+	}
+	if *stats {
+		st := lay.Statistics()
+		fmt.Printf("design %s: layers=%d shapes=%d windows=%d die=%v\n",
+			st.Name, st.NumLayers, st.NumShapes, st.NumWindows, lay.Die)
+		for li, d := range st.WireDens {
+			fmt.Printf("  layer %d: wire density %.4f, fill-region area %d\n", li, d, st.FillArea[li])
+		}
+	}
+	path := *out
+	if path == "" {
+		ext := ".gds"
+		if *format == "text" {
+			ext = ".txt"
+		}
+		path = *design + ext
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	switch *format {
+	case "gds":
+		err = gdsii.FromLayout(lay, nil).Write(f)
+	case "text":
+		err = textfmt.WriteLayout(f, lay)
+	default:
+		err = fmt.Errorf("unknown format %q", *format)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", path, info.Size())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "layoutgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,157 @@
+// Command repro regenerates the paper's experimental tables and figures
+// on the synthetic benchmark suite:
+//
+//	repro -exp table2                       # benchmark statistics + α/β (Table 2)
+//	repro -exp table3 -designs s            # method comparison (Table 3)
+//	repro -exp fig6                         # the worked dual min-cost-flow example
+//	repro -exp cmp                          # post-CMP planarity motivation
+//	repro -exp all -designs s,b,m           # everything
+//	repro -exp table3 -format csv           # machine-readable output
+//
+// The experiment logic lives in internal/exp; this command only parses
+// flags, measures runtime/memory, and renders.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"dummyfill/internal/cmppad"
+	"dummyfill/internal/exp"
+	"dummyfill/internal/fill"
+)
+
+func main() {
+	expName := flag.String("exp", "all", "experiment: table2, table3, fig6, cmp, all")
+	designs := flag.String("designs", "s,b,m", "comma-separated design list")
+	formatName := flag.String("format", "text", "output format: text, csv, md")
+	flag.Parse()
+
+	format, err := exp.ParseFormat(*formatName)
+	if err != nil {
+		fatal(err)
+	}
+	var names []string
+	for _, n := range strings.Split(*designs, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	opts := fill.DefaultOptions()
+	out := os.Stdout
+	text := format == exp.Text
+
+	ran := false
+	if *expName == "table2" || *expName == "all" {
+		ran = true
+		if text {
+			fmt.Println("== Table 2: benchmark statistics and score coefficients ==")
+		}
+		rows, err := exp.Table2(names)
+		if err != nil {
+			fatal(err)
+		}
+		if err := exp.RenderTable2(out, format, rows); err != nil {
+			fatal(err)
+		}
+		if text {
+			fmt.Println()
+		}
+	}
+	if *expName == "fig6" || *expName == "all" {
+		ran = true
+		if text {
+			fmt.Println("== Fig. 6: dual min-cost-flow worked example (paper: x = [5 0 0 6], objective 29) ==")
+		}
+		rows, err := exp.Fig6()
+		if err != nil {
+			fatal(err)
+		}
+		if err := exp.RenderFig6(out, format, rows); err != nil {
+			fatal(err)
+		}
+		if text {
+			fmt.Println()
+		}
+	}
+	if *expName == "table3" || *expName == "all" {
+		ran = true
+		if text {
+			fmt.Println("== Table 3: experimental results (ours vs. baseline methods) ==")
+		}
+		rows, err := exp.Table3(names, opts, measure)
+		if err != nil {
+			fatal(err)
+		}
+		if err := exp.RenderTable3(out, format, rows); err != nil {
+			fatal(err)
+		}
+		if text {
+			fmt.Println()
+		}
+	}
+	if *expName == "cmp" || *expName == "all" {
+		ran = true
+		if text {
+			fmt.Println("== CMP motivation: post-polish planarity before/after fill ==")
+		}
+		rows, err := exp.CMP(names, opts, cmppad.DefaultParams())
+		if err != nil {
+			fatal(err)
+		}
+		if err := exp.RenderCMP(out, format, rows); err != nil {
+			fatal(err)
+		}
+		if text {
+			fmt.Println()
+		}
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown -exp %q (want table2, table3, fig6, cmp or all)", *expName))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repro:", err)
+	os.Exit(1)
+}
+
+// measure times f and samples peak live heap (5 ms period), mirroring the
+// public API's instrumentation.
+func measure(f func() error) (float64, float64, error) {
+	runtime.GC()
+	var base runtime.MemStats
+	runtime.ReadMemStats(&base)
+	var peak atomic.Int64
+	peak.Store(int64(base.HeapInuse))
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(5 * time.Millisecond)
+		defer t.Stop()
+		var ms runtime.MemStats
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				runtime.ReadMemStats(&ms)
+				if h := int64(ms.HeapInuse); h > peak.Load() {
+					peak.Store(h)
+				}
+			}
+		}
+	}()
+	start := time.Now()
+	err := f()
+	sec := time.Since(start).Seconds()
+	close(stop)
+	<-done
+	return sec, float64(peak.Load()) / (1 << 20), err
+}

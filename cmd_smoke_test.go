@@ -1,0 +1,121 @@
+package dummyfill_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one cmd/ binary into a shared temp dir (built once
+// per test binary).
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	dir := t.TempDir()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = repoRoot(t)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return wd
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = t.TempDir()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+// TestCommandPipeline drives the real binaries end to end:
+// layoutgen → fillgen → evalscore → gdscat on the tiny design.
+func TestCommandPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	layoutgen := buildTool(t, "layoutgen")
+	fillgen := buildTool(t, "fillgen")
+	evalscore := buildTool(t, "evalscore")
+	gdscat := buildTool(t, "gdscat")
+
+	gds := filepath.Join(dir, "tiny.gds")
+	out := run(t, layoutgen, "-design", "tiny", "-stats", "-o", gds)
+	if !strings.Contains(out, "design tiny") || !strings.Contains(out, "wrote") {
+		t.Fatalf("layoutgen output: %s", out)
+	}
+
+	fillGds := filepath.Join(dir, "tiny_fill.gds")
+	out = run(t, fillgen, "-design", "tiny", "-o", fillGds)
+	if !strings.Contains(out, "method ours") {
+		t.Fatalf("fillgen output: %s", out)
+	}
+	if strings.Contains(out, "WARNING") {
+		t.Fatalf("fillgen reported DRC trouble: %s", out)
+	}
+
+	out = run(t, evalscore, "-design", "tiny", "-solution", fillGds)
+	if !strings.Contains(out, "DRC: clean") {
+		t.Fatalf("evalscore output: %s", out)
+	}
+	if !strings.Contains(out, "quality=") {
+		t.Fatalf("evalscore missing scores: %s", out)
+	}
+
+	out = run(t, gdscat, "-layers", fillGds)
+	if !strings.Contains(out, "fill:") {
+		t.Fatalf("gdscat output: %s", out)
+	}
+
+	// fillgen -in path: feed the generated wires file back in.
+	out = run(t, fillgen, "-in", gds, "-o", filepath.Join(dir, "ext_fill.gds"))
+	if !strings.Contains(out, "method ours") {
+		t.Fatalf("fillgen -in output: %s", out)
+	}
+}
+
+// TestReproFig6Command checks the repro tool's figure path.
+func TestReproFig6Command(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	repro := buildTool(t, "repro")
+	out := run(t, repro, "-exp", "fig6")
+	if !strings.Contains(out, "[5 0 0 6]") {
+		t.Fatalf("fig6 output wrong: %s", out)
+	}
+}
+
+// TestLayout2SVGCommand checks the renderer tool.
+func TestLayout2SVGCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	tool := buildTool(t, "layout2svg")
+	dir := t.TempDir()
+	svg := filepath.Join(dir, "t.svg")
+	run(t, tool, "-design", "tiny", "-o", svg)
+	data, err := os.ReadFile(svg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "<svg") {
+		t.Fatalf("not an SVG: %.60s", data)
+	}
+}

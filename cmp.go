@@ -1,0 +1,93 @@
+package dummyfill
+
+import (
+	"io"
+
+	"dummyfill/internal/cmppad"
+	"dummyfill/internal/fill"
+	"dummyfill/internal/gdsii"
+	"dummyfill/internal/grid"
+	"dummyfill/internal/ingest"
+	"dummyfill/internal/score"
+	"dummyfill/internal/textfmt"
+)
+
+// CMP simulation and layout-ingestion surface of the public API.
+
+type (
+	// CMPParams configure the density-driven CMP model.
+	CMPParams = cmppad.Params
+	// Planarity is a post-CMP surface summary (height range and σ).
+	Planarity = cmppad.Planarity
+	// DensityGrid is a per-window scalar field (densities, heights).
+	DensityGrid = grid.Map
+	// IngestOptions control building a Layout from a GDSII library.
+	IngestOptions = ingest.Options
+)
+
+// DefaultCMPParams returns the default CMP model configuration.
+func DefaultCMPParams() CMPParams { return cmppad.DefaultParams() }
+
+// SimulateCMP evaluates the post-CMP planarity of every layer of a
+// (possibly filled) layout under the density-based polish model. It
+// returns one Planarity per layer.
+func SimulateCMP(lay *Layout, sol *Solution, p CMPParams) ([]Planarity, error) {
+	if sol == nil {
+		sol = &Solution{}
+	}
+	_, _, _, maps, err := score.MeasureDensity(lay, sol)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Planarity, len(maps))
+	for li, m := range maps {
+		pl, err := cmppad.Evaluate(m, p)
+		if err != nil {
+			return nil, err
+		}
+		out[li] = pl
+	}
+	return out, nil
+}
+
+// LayoutFromGDS builds a fill-ready Layout from a parsed GDSII stream:
+// polygons are decomposed to rectangles and feasible fill regions are
+// extracted as wire-keepout-free space.
+func LayoutFromGDS(lib *gdsii.Library, opts IngestOptions) (*Layout, error) {
+	return ingest.FromGDS(lib, opts)
+}
+
+// ReadGDSLayout reads a GDSII stream and builds a Layout in one step.
+func ReadGDSLayout(r interface{ Read([]byte) (int, error) }, opts IngestOptions) (*Layout, error) {
+	lib, err := gdsii.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return ingest.FromGDS(lib, opts)
+}
+
+// WriteTextLayout emits the layout in the line-oriented text format (see
+// internal/textfmt for the grammar) — the human-authorable counterpart to
+// GDSII.
+func WriteTextLayout(w io.Writer, lay *Layout) error { return textfmt.WriteLayout(w, lay) }
+
+// ReadTextLayout parses a text-format layout (validated).
+func ReadTextLayout(r io.Reader) (*Layout, error) { return textfmt.ReadLayout(r) }
+
+// WriteTextSolution emits a fill solution in the text format.
+func WriteTextSolution(w io.Writer, name string, sol *Solution) error {
+	return textfmt.WriteSolution(w, name, sol)
+}
+
+// ReadTextSolution parses a text-format fill solution.
+func ReadTextSolution(r io.Reader) (name string, sol *Solution, err error) {
+	return textfmt.ReadSolution(r)
+}
+
+// AutoTuneLambda runs the fill engine at several candidate overfill
+// factors λ and returns the best-scoring options and result (Testcase
+// Quality under c, runtime/memory excluded). Pass nil candidates for the
+// default sweep {1.0, 1.15, 1.3, 1.5}.
+func AutoTuneLambda(lay *Layout, c Coefficients, base Options, candidates []float64) (Options, *Result, error) {
+	return fill.AutoTuneLambda(lay, c, base, candidates)
+}

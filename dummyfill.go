@@ -1,0 +1,230 @@
+// Package dummyfill is a high-performance dummy fill insertion and sizing
+// framework with coupling (overlay) and uniformity constraints — a
+// from-scratch Go reproduction of Lin, Yu & Pan, "High Performance Dummy
+// Fill Insertion with Coupling and Uniformity Constraints" (DAC 2015).
+//
+// The flow (Fig. 3 of the paper):
+//
+//	input fill regions → target density planning → candidate fill
+//	generation (Alg. 1) → density re-planning → dummy fill sizing via
+//	alternating-direction dual min-cost flow → output fills
+//
+// Quick start:
+//
+//	lay, coeffs, _ := dummyfill.GenerateBenchmark("s")
+//	res, _ := dummyfill.Insert(lay, dummyfill.DefaultOptions())
+//	report, _ := dummyfill.Score(lay, &res.Solution, coeffs, dummyfill.Measured{})
+//	fmt.Println(report)
+//
+// The package re-exports the building blocks (geometry, density analysis,
+// GDSII IO, DRC, scoring, baseline fillers) so downstream tools can
+// compose their own flows.
+package dummyfill
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dummyfill/internal/baseline"
+	"dummyfill/internal/drc"
+	"dummyfill/internal/fill"
+	"dummyfill/internal/gdsii"
+	"dummyfill/internal/geom"
+	"dummyfill/internal/layout"
+	"dummyfill/internal/oasis"
+	"dummyfill/internal/score"
+	"dummyfill/internal/synth"
+)
+
+// Core type aliases: the public API of the framework.
+type (
+	// Layout is a multi-layer design with wires and feasible fill regions.
+	Layout = layout.Layout
+	// Layer holds one routing layer's wires and fill regions.
+	Layer = layout.Layer
+	// Rules is the fill DRC rule set (min width/spacing/area, max dim).
+	Rules = layout.Rules
+	// Fill is one inserted dummy fill shape.
+	Fill = layout.Fill
+	// Solution is a complete fill assignment.
+	Solution = layout.Solution
+	// Rect is an integer rectangle in database units.
+	Rect = geom.Rect
+	// Point is an integer point in database units.
+	Point = geom.Point
+	// Options tunes the fill engine (λ, γ, η, solver, parallelism).
+	Options = fill.Options
+	// Result is the engine output (solution + planning diagnostics).
+	Result = fill.Result
+	// Coefficients are the α/β contest scoring parameters.
+	Coefficients = score.Coefficients
+	// Report is a fully scored solution (one Table 3 row).
+	Report = score.Report
+	// Violation is a DRC error found in a solution.
+	Violation = drc.Violation
+)
+
+// R constructs a rectangle, normalizing swapped bounds.
+func R(xl, yl, xh, yh int64) Rect { return geom.R(xl, yl, xh, yh) }
+
+// DefaultOptions returns the engine parameters used in the paper's
+// experiments where stated (γ = 1, η = 1).
+func DefaultOptions() Options { return fill.DefaultOptions() }
+
+// Insert runs the full fill insertion flow on a layout.
+func Insert(lay *Layout, opts Options) (*Result, error) {
+	e, err := fill.New(lay, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}
+
+// CheckDRC verifies a solution against the layout's fill rules, including
+// containment in the declared fill regions.
+func CheckDRC(lay *Layout, sol *Solution) []Violation {
+	return drc.Check(lay, sol, true)
+}
+
+// Measured carries the environment-dependent raw measurements of a run.
+// Zero values are allowed (the corresponding scores then read as perfect;
+// use RunMethod to measure for real).
+type Measured struct {
+	FileSizeBytes int64
+	Runtime       time.Duration
+	MemoryMiB     float64
+}
+
+// Score measures the geometric metrics of a solution and combines them
+// with the supplied environment measurements into a contest-score report.
+func Score(lay *Layout, sol *Solution, c Coefficients, m Measured) (*Report, error) {
+	raw, err := score.Measure(lay, sol, m.FileSizeBytes, m.Runtime.Seconds(), m.MemoryMiB)
+	if err != nil {
+		return nil, err
+	}
+	return score.Score(raw, c), nil
+}
+
+// WriteGDS emits the layout plus solution as a GDSII stream (wires
+// datatype 0, fills datatype 1).
+func WriteGDS(w io.Writer, lay *Layout, sol *Solution) error {
+	return gdsii.FromLayout(lay, sol).Write(w)
+}
+
+// GDSSize returns the byte size of the solution GDSII (fills only) — the
+// contest's file-size metric — without materializing the file.
+func GDSSize(lay *Layout, sol *Solution) (int64, error) {
+	return gdsii.FromSolution(lay.Name, sol).EncodedSize()
+}
+
+// OASISSize returns the byte size of the solution encoded as OASIS with
+// modal-variable compression — the alternative interchange format the
+// paper names alongside GDSII. Comparing it with GDSSize shows how much
+// of the file-size cost is the shape count itself versus the encoding.
+func OASISSize(lay *Layout, sol *Solution) (int64, error) {
+	return oasis.FromSolution(lay.Name, sol).EncodedSize()
+}
+
+// WriteOASIS emits the solution as an OASIS stream.
+func WriteOASIS(w io.Writer, lay *Layout, sol *Solution) error {
+	return oasis.FromSolution(lay.Name, sol).Write(w)
+}
+
+// ReadGDSShapes parses a GDSII stream and returns per-layer wire and fill
+// rectangles (datatype 0 = wires, 1 = fills; polygons are decomposed).
+func ReadGDSShapes(r io.Reader) (wires, fills map[int][]Rect, err error) {
+	lib, err := gdsii.Read(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lib.ExtractShapes()
+}
+
+// GenerateBenchmark builds one of the synthetic contest-style designs
+// ("s", "b" or "m") together with its calibrated score coefficients.
+func GenerateBenchmark(name string) (*Layout, Coefficients, error) {
+	sp, err := synth.ByName(name)
+	if err != nil {
+		return nil, Coefficients{}, err
+	}
+	lay, err := synth.Generate(sp)
+	if err != nil {
+		return nil, Coefficients{}, err
+	}
+	c, err := synth.Coefficients(sp, lay)
+	if err != nil {
+		return nil, Coefficients{}, err
+	}
+	return lay, c, nil
+}
+
+// Calibrate computes a contest-style α/β score table for an arbitrary
+// layout (the synthetic designs come pre-calibrated via
+// GenerateBenchmark). Runtime/memory βs are the caller's budget.
+func Calibrate(lay *Layout, betaRuntimeSec, betaMemoryMiB float64) (Coefficients, error) {
+	return synth.Calibrate(lay, betaRuntimeSec, betaMemoryMiB)
+}
+
+// Method is one fill approach under comparison.
+type Method struct {
+	Name string
+	Run  func(*Layout) (*Solution, error)
+}
+
+// Ours returns the paper's method as a Method.
+func Ours(opts Options) Method {
+	return Method{Name: "ours", Run: func(lay *Layout) (*Solution, error) {
+		res, err := Insert(lay, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &res.Solution, nil
+	}}
+}
+
+// Baselines returns the three traditional methods (the contest top-3
+// stand-ins): tile-based LP, Monte-Carlo and greedy.
+func Baselines() []Method {
+	fillers := []baseline.Filler{
+		baseline.TileLP{},
+		baseline.MonteCarlo{Seed: 42},
+		baseline.CouplingConstrained{},
+		baseline.Greedy{},
+	}
+	out := make([]Method, 0, len(fillers))
+	for _, f := range fillers {
+		f := f
+		out = append(out, Method{Name: f.Name(), Run: f.Fill})
+	}
+	return out
+}
+
+// AllMethods is Ours followed by Baselines.
+func AllMethods(opts Options) []Method {
+	return append([]Method{Ours(opts)}, Baselines()...)
+}
+
+// RunMethod executes a method on a layout, measuring wall-clock runtime,
+// an approximate peak-live-heap figure and the solution GDSII size, and
+// returns the scored report alongside the solution.
+func RunMethod(m Method, lay *Layout, c Coefficients) (*Report, *Solution, error) {
+	var sol *Solution
+	runtimeSec, memMiB, err := measure(func() error {
+		var err error
+		sol, err = m.Run(lay)
+		return err
+	})
+	if err != nil {
+		return nil, nil, fmt.Errorf("dummyfill: method %s: %w", m.Name, err)
+	}
+	sz, err := GDSSize(lay, sol)
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, err := score.Measure(lay, sol, sz, runtimeSec, memMiB)
+	if err != nil {
+		return nil, nil, err
+	}
+	return score.Score(raw, c), sol, nil
+}

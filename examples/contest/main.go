@@ -1,0 +1,45 @@
+// Contest: run the full ICCAD-2014-style comparison — our engine against
+// the three baseline fillers — on one synthetic design and print a
+// Table-3-like scoreboard. This is the programmatic equivalent of
+// `cmd/repro -exp table3`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	dummyfill "dummyfill"
+)
+
+func main() {
+	design := flag.String("design", "tiny", "design name: s, b, m or tiny")
+	flag.Parse()
+
+	lay, coeffs, err := dummyfill.GenerateBenchmark(*design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("design %s: %d wire shapes, %d layers\n\n", *design, lay.NumShapes(), len(lay.Layers))
+	fmt.Printf("%-12s %-8s %-8s %-8s %-8s %-8s %-9s %-8s %-8s\n",
+		"Method", "Overlay", "Var", "Line", "Outlier", "Size", "Quality", "Score", "#Fills")
+
+	var bestQ float64
+	var bestName string
+	for _, m := range dummyfill.AllMethods(dummyfill.DefaultOptions()) {
+		rep, sol, err := dummyfill.RunMethod(m, lay, coeffs)
+		if err != nil {
+			log.Fatalf("method %s: %v", m.Name, err)
+		}
+		if vs := dummyfill.CheckDRC(lay, sol); len(vs) != 0 {
+			log.Fatalf("method %s produced %d DRC violations", m.Name, len(vs))
+		}
+		fmt.Printf("%-12s %-8.3f %-8.3f %-8.3f %-8.3f %-8.3f %-9.3f %-8.3f %-8d\n",
+			m.Name, rep.Overlay, rep.Variation, rep.Line, rep.Outlier, rep.Size,
+			rep.Quality, rep.Total, len(sol.Fills))
+		if rep.Quality > bestQ {
+			bestQ, bestName = rep.Quality, m.Name
+		}
+	}
+	fmt.Printf("\nbest testcase quality: %s (%.3f)\n", bestName, bestQ)
+}

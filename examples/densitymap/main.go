@@ -1,0 +1,78 @@
+// Densitymap: visualize (as ASCII) the window density distribution of a
+// design before and after fill insertion, together with the three
+// contest density metrics (variation, line hotspots, outlier hotspots).
+// This is the density-analysis half of the flow, usable standalone.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	dummyfill "dummyfill"
+)
+
+func main() {
+	design := flag.String("design", "tiny", "design name: s, b, m or tiny")
+	layer := flag.Int("layer", 0, "layer to visualize")
+	flag.Parse()
+
+	lay, _, err := dummyfill.GenerateBenchmark(*design)
+	if err != nil {
+		log.Fatal(err)
+	}
+	before, err := dummyfill.Score(lay, &dummyfill.Solution{}, dummyfill.Coefficients{}, dummyfill.Measured{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dummyfill.Insert(lay, dummyfill.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := dummyfill.Score(lay, &res.Solution, dummyfill.Coefficients{}, dummyfill.Measured{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("design %s, layer %d of %d\n\n", *design, *layer, len(lay.Layers))
+	fmt.Println("window density map before fill:")
+	printMap(lay, &dummyfill.Solution{}, *layer)
+	fmt.Println("\nwindow density map after fill:")
+	printMap(lay, &res.Solution, *layer)
+
+	fmt.Printf("\nmetrics (summed over layers):\n")
+	fmt.Printf("  %-18s %-12s %-12s\n", "", "before", "after")
+	fmt.Printf("  %-18s %-12.4f %-12.4f\n", "variation σ", before.Raw.SumSigma, after.Raw.SumSigma)
+	fmt.Printf("  %-18s %-12.2f %-12.2f\n", "line hotspots", before.Raw.SumLine, after.Raw.SumLine)
+	fmt.Printf("  %-18s %-12.4f %-12.4f\n", "outlier hotspots", before.Raw.SumOutlier, after.Raw.SumOutlier)
+}
+
+// printMap renders the per-window density of one layer as a digit grid
+// (0–9 ≈ density 0.0–0.9+).
+func printMap(lay *dummyfill.Layout, sol *dummyfill.Solution, layer int) {
+	g, err := lay.Grid()
+	if err != nil {
+		log.Fatal(err)
+	}
+	perLayer := sol.PerLayer(len(lay.Layers))
+	for j := g.NY - 1; j >= 0; j-- {
+		fmt.Print("  ")
+		for i := 0; i < g.NX; i++ {
+			w := g.Window(i, j)
+			var area int64
+			for _, wr := range lay.Layers[layer].Wires {
+				area += wr.Intersect(w).Area()
+			}
+			for _, f := range perLayer[layer] {
+				area += f.Intersect(w).Area()
+			}
+			d := float64(area) / float64(w.Area())
+			digit := int(d * 10)
+			if digit > 9 {
+				digit = 9
+			}
+			fmt.Printf("%d", digit)
+		}
+		fmt.Println()
+	}
+}

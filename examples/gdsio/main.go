@@ -1,0 +1,76 @@
+// GDS IO: write a filled design to a GDSII stream, read it back, and
+// verify the round trip — demonstrating the IO path the contest's
+// file-size score is measured on.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	dummyfill "dummyfill"
+)
+
+func main() {
+	lay, _, err := dummyfill.GenerateBenchmark("tiny")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dummyfill.Insert(lay, dummyfill.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sol := &res.Solution
+
+	// Full layout + fills in one stream.
+	var buf bytes.Buffer
+	if err := dummyfill.WriteGDS(&buf, lay, sol); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("layout+fills GDSII: %d bytes\n", buf.Len())
+
+	// The contest's file-size metric: the solution (fills-only) stream.
+	solSize, err := dummyfill.GDSSize(lay, sol)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solution-only GDSII: %d bytes for %d fills (%.1f bytes/fill)\n",
+		solSize, len(sol.Fills), float64(solSize)/float64(len(sol.Fills)))
+
+	// Round trip: every wire and fill must come back intact.
+	wires, fills, err := dummyfill.ReadGDSShapes(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var nw, nf int
+	for _, rs := range wires {
+		nw += len(rs)
+	}
+	for _, rs := range fills {
+		nf += len(rs)
+	}
+	fmt.Printf("read back: %d wires, %d fills\n", nw, nf)
+	if nw != lay.NumShapes() || nf != len(sol.Fills) {
+		log.Fatalf("round trip mismatch: wrote %d/%d, read %d/%d",
+			lay.NumShapes(), len(sol.Fills), nw, nf)
+	}
+
+	// Spot-check geometric fidelity of the first fill on each layer.
+	perLayer := sol.PerLayer(len(lay.Layers))
+	for li, rs := range perLayer {
+		if len(rs) == 0 {
+			continue
+		}
+		found := false
+		for _, r := range fills[li] {
+			if r == rs[0] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			log.Fatalf("layer %d: fill %v lost in round trip", li, rs[0])
+		}
+	}
+	fmt.Println("round trip: exact")
+}

@@ -1,0 +1,81 @@
+// Quickstart: build a small layout by hand, run the fill engine, and
+// inspect the result. This is the minimal end-to-end use of the public
+// API: Layout in, DRC-clean Solution out.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	dummyfill "dummyfill"
+)
+
+func main() {
+	// A 2-layer, 4-window layout. Layer 0 has a dense wire block in the
+	// lower-left window; layer 1 is almost empty. Fill regions are the
+	// free space at least one spacing unit away from wires.
+	lay := &dummyfill.Layout{
+		Name:   "quickstart",
+		Die:    dummyfill.R(0, 0, 400, 400),
+		Window: 200,
+		Rules: dummyfill.Rules{
+			MinWidth:   8,
+			MinSpace:   8,
+			MinArea:    64,
+			MaxFillDim: 80,
+		},
+		Layers: []*dummyfill.Layer{
+			{
+				Wires: []dummyfill.Rect{
+					dummyfill.R(20, 20, 160, 60),
+					dummyfill.R(20, 80, 160, 120),
+					dummyfill.R(240, 300, 380, 340),
+				},
+				FillRegions: []dummyfill.Rect{
+					dummyfill.R(20, 140, 380, 280),
+					dummyfill.R(180, 20, 380, 130),
+					dummyfill.R(20, 300, 220, 380),
+				},
+			},
+			{
+				Wires: []dummyfill.Rect{
+					dummyfill.R(300, 40, 340, 200),
+				},
+				FillRegions: []dummyfill.Rect{
+					dummyfill.R(20, 20, 280, 380),
+					dummyfill.R(360, 20, 390, 380),
+				},
+			},
+		},
+	}
+
+	res, err := dummyfill.Insert(lay, dummyfill.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("inserted %d fills (from %d candidates) across %d windows\n",
+		len(res.Solution.Fills), res.Candidates, res.Windows)
+	fmt.Printf("planned target densities per layer: %.3f\n", res.Targets)
+
+	if vs := dummyfill.CheckDRC(lay, &res.Solution); len(vs) != 0 {
+		log.Fatalf("DRC violations: %v", vs)
+	}
+	fmt.Println("DRC: clean")
+
+	sz, err := dummyfill.GDSSize(lay, &res.Solution)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("solution GDSII size: %d bytes\n", sz)
+
+	for _, f := range res.Solution.Fills[:min(5, len(res.Solution.Fills))] {
+		fmt.Printf("  fill layer=%d rect=%v\n", f.Layer, f.Rect)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

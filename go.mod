@@ -1,0 +1,3 @@
+module dummyfill
+
+go 1.22

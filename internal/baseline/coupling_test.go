@@ -1,0 +1,97 @@
+package baseline
+
+import (
+	"testing"
+
+	"dummyfill/internal/drc"
+	"dummyfill/internal/geom"
+	"dummyfill/internal/layout"
+	"dummyfill/internal/score"
+)
+
+func TestCouplingConstrainedBasics(t *testing.T) {
+	lay := checkerLayout()
+	sol, err := CouplingConstrained{}.Fill(lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Fills) == 0 {
+		t.Fatal("no fills inserted")
+	}
+	if vs := drc.Check(lay, sol, true); len(vs) != 0 {
+		t.Fatalf("%d DRC violations, first: %v", len(vs), vs[0])
+	}
+}
+
+func TestCouplingConstrainedRespectsBudget(t *testing.T) {
+	lay := checkerLayout()
+	// Tight budget → much less overlay than an unconstrained greedy run.
+	tight, err := CouplingConstrained{BudgetFrac: 0.005}.Fill(lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := CouplingConstrained{BudgetFrac: 0.9}.Fill(lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovT := score.TotalOverlay(lay, tight)
+	ovL := score.TotalOverlay(lay, loose)
+	if ovT > ovL {
+		t.Fatalf("tighter budget produced more overlay: %d vs %d", ovT, ovL)
+	}
+	greedy, err := Greedy{}.Fill(lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ovG := score.TotalOverlay(lay, greedy); ovT >= ovG && ovG > 0 {
+		t.Fatalf("budgeted overlay %d not below greedy %d", ovT, ovG)
+	}
+}
+
+// overlapLayout is built so fill-to-wire overlay is unavoidable for
+// overlay-blind methods: layer-0 fill regions sit directly over layer-1
+// wires on half the area.
+func overlapLayout() *layout.Layout {
+	rules := layout.Rules{MinWidth: 4, MinSpace: 4, MinArea: 16, MaxFillDim: 40}
+	l0 := &layout.Layer{
+		Wires:       []geom.Rect{geom.R(0, 0, 40, 10)},
+		FillRegions: []geom.Rect{geom.R(0, 20, 200, 200)},
+	}
+	var l1 geom.Rect = geom.R(0, 20, 100, 200) // wire slab under half the fill region
+	return &layout.Layout{
+		Name: "ovl", Die: geom.R(0, 0, 200, 200), Window: 100,
+		Rules: rules,
+		Layers: []*layout.Layer{
+			l0,
+			{Wires: []geom.Rect{l1}, FillRegions: []geom.Rect{geom.R(108, 0, 200, 16)}},
+		},
+	}
+}
+
+func TestCouplingConstrainedOverlayOrdering(t *testing.T) {
+	// The coupling-aware filler must end with less overlay than the
+	// overlay-blind greedy at comparable density.
+	lay := overlapLayout()
+	cc, err := CouplingConstrained{}.Fill(lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := Greedy{}.Fill(lay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ovCC := score.TotalOverlay(lay, cc)
+	ovGR := score.TotalOverlay(lay, gr)
+	if ovGR == 0 {
+		t.Fatal("test layout must force overlay for greedy")
+	}
+	if ovCC >= ovGR {
+		t.Fatalf("coupling-aware overlay %d not below overlay-blind greedy %d", ovCC, ovGR)
+	}
+}
+
+func TestCouplingConstrainedInvalidLayout(t *testing.T) {
+	if _, err := (CouplingConstrained{}).Fill(&layout.Layout{}); err == nil {
+		t.Fatal("invalid layout must error")
+	}
+}

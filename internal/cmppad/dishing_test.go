@@ -1,0 +1,93 @@
+package cmppad
+
+import (
+	"testing"
+
+	"dummyfill/internal/geom"
+	"dummyfill/internal/grid"
+)
+
+func TestMeanFeatureWidth(t *testing.T) {
+	g, err := grid.New(geom.R(0, 0, 200, 100), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Window 0: one 10-wide wire. Window 1: one 40-wide block.
+	m := MeanFeatureWidth(g, []geom.Rect{
+		geom.R(0, 0, 80, 10),    // min dim 10, window 0
+		geom.R(120, 0, 160, 90), // min dim 40, window 1
+	})
+	if m.At(0, 0) != 10 {
+		t.Fatalf("window 0 mean width = %v, want 10", m.At(0, 0))
+	}
+	if m.At(1, 0) != 40 {
+		t.Fatalf("window 1 mean width = %v, want 40", m.At(1, 0))
+	}
+}
+
+func TestMeanFeatureWidthWeighting(t *testing.T) {
+	g, _ := grid.New(geom.R(0, 0, 100, 100), 100)
+	// Two features: area 100 with min-dim 10, area 900 with min-dim 30.
+	m := MeanFeatureWidth(g, []geom.Rect{
+		geom.R(0, 0, 10, 10),
+		geom.R(20, 0, 50, 30),
+	})
+	want := (10.0*100 + 30.0*900) / 1000
+	if got := m.At(0, 0); got != want {
+		t.Fatalf("weighted mean = %v, want %v", got, want)
+	}
+	// Empty window → 0.
+	g2, _ := grid.New(geom.R(0, 0, 100, 100), 50)
+	m2 := MeanFeatureWidth(g2, nil)
+	if m2.At(1, 1) != 0 {
+		t.Fatal("empty window must read 0")
+	}
+}
+
+func TestSimulateCuDishingGrowsWithWidth(t *testing.T) {
+	g, _ := grid.New(geom.R(0, 0, 200, 100), 100)
+	dens := grid.NewMap(g)
+	dens.V[0], dens.V[1] = 0.5, 0.5
+	width := grid.NewMap(g)
+	width.V[0], width.V[1] = 100, 4000 // narrow vs wide features
+	rep, err := SimulateCu(dens, width, 0, DefaultCuParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Dishing.V[1] <= rep.Dishing.V[0] {
+		t.Fatalf("wider features must dish more: %v vs %v", rep.Dishing.V[1], rep.Dishing.V[0])
+	}
+	if rep.MaxDishing != rep.Dishing.V[1] {
+		t.Fatalf("max dishing %v != %v", rep.MaxDishing, rep.Dishing.V[1])
+	}
+}
+
+func TestSimulateCuErosionGrowsWithDensity(t *testing.T) {
+	g, _ := grid.New(geom.R(0, 0, 200, 100), 100)
+	dens := grid.NewMap(g)
+	dens.V[0], dens.V[1] = 0.2, 0.8
+	width := grid.NewMap(g)
+	rep, err := SimulateCu(dens, width, 0, DefaultCuParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Erosion.V[1] <= rep.Erosion.V[0] {
+		t.Fatalf("denser windows must erode more: %v vs %v", rep.Erosion.V[1], rep.Erosion.V[0])
+	}
+}
+
+func TestSimulateCuValidation(t *testing.T) {
+	g, _ := grid.New(geom.R(0, 0, 100, 100), 100)
+	dens := grid.NewMap(g)
+	width := grid.NewMap(g)
+	bad := DefaultCuParams()
+	bad.W50 = 0
+	if _, err := SimulateCu(dens, width, 0, bad); err == nil {
+		t.Fatal("W50=0 must error")
+	}
+	g2, _ := grid.New(geom.R(0, 0, 100, 100), 50)
+	other := grid.NewMap(g2)
+	if _, err := SimulateCu(dens, other, 0, DefaultCuParams()); err == nil {
+		t.Fatal("mismatched grids must error")
+	}
+}

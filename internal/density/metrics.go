@@ -1,0 +1,76 @@
+// Package density implements the paper's density analysis: the three
+// per-layer distribution metrics (variation σ, line hotspots, outlier
+// hotspots; §2.2, Eqns. 1–2) and target density planning (§3.1).
+package density
+
+import (
+	"math"
+
+	"dummyfill/internal/grid"
+)
+
+// Variation returns the standard deviation σ of the window densities
+// (population deviation, as in the contest definition).
+func Variation(m *grid.Map) float64 {
+	n := len(m.V)
+	if n == 0 {
+		return 0
+	}
+	mean := m.Mean()
+	var ss float64
+	for _, v := range m.V {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n))
+}
+
+// LineHotspots computes Eqn. (1): the summed absolute deviation of each
+// window density from its column mean,
+//
+//	lh = Σ_i Σ_j |d(i,j) − mean_j d(i,j)|.
+func LineHotspots(m *grid.Map) float64 {
+	g := m.G
+	var lh float64
+	for i := 0; i < g.NX; i++ {
+		var colSum float64
+		for j := 0; j < g.NY; j++ {
+			colSum += m.At(i, j)
+		}
+		colMean := colSum / float64(g.NY)
+		for j := 0; j < g.NY; j++ {
+			lh += math.Abs(m.At(i, j) - colMean)
+		}
+	}
+	return lh
+}
+
+// OutlierHotspots computes Eqn. (2): the summed deviation of window
+// densities beyond the 3σ band around the layout mean,
+//
+//	oh = Σ_i Σ_j max(0, |d(i,j) − d̄| − 3σ).
+func OutlierHotspots(m *grid.Map) float64 {
+	mean := m.Mean()
+	sigma := Variation(m)
+	var oh float64
+	for _, v := range m.V {
+		if dev := math.Abs(v-mean) - 3*sigma; dev > 0 {
+			oh += dev
+		}
+	}
+	return oh
+}
+
+// Metrics bundles the three distribution metrics of one density map.
+type Metrics struct {
+	Sigma, Line, Outlier float64
+}
+
+// Measure computes all three metrics of m.
+func Measure(m *grid.Map) Metrics {
+	return Metrics{
+		Sigma:   Variation(m),
+		Line:    LineHotspots(m),
+		Outlier: OutlierHotspots(m),
+	}
+}

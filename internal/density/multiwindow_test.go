@@ -1,0 +1,134 @@
+package density
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"dummyfill/internal/geom"
+)
+
+func TestMultiWindowUniform(t *testing.T) {
+	die := geom.R(0, 0, 100, 100)
+	// Full coverage → every window density 1.
+	m, err := MultiWindow(die, 50, 2, []geom.Rect{die})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := m.MinMax()
+	if math.Abs(lo-1) > 1e-12 || math.Abs(hi-1) > 1e-12 {
+		t.Fatalf("uniform coverage: lo=%v hi=%v, want 1", lo, hi)
+	}
+}
+
+func TestMultiWindowEmpty(t *testing.T) {
+	die := geom.R(0, 0, 100, 100)
+	m, err := MultiWindow(die, 50, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, hi := m.MinMax(); hi != 0 {
+		t.Fatalf("empty layout has density %v", hi)
+	}
+}
+
+func TestMultiWindowCatchesStraddlingHotspot(t *testing.T) {
+	// A dense block centered exactly on a fixed-window border: the fixed
+	// 50-dissection sees density ≤ 0.5 in each window, but the offset
+	// window centered on the block sees 1.0.
+	die := geom.R(0, 0, 100, 100)
+	block := geom.R(25, 25, 75, 75) // straddles the (50,50) corner
+	m, err := MultiWindow(die, 50, 2, []geom.Rect{block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, hi := m.MinMax()
+	if hi < 0.999 {
+		t.Fatalf("overlapping analysis max density = %v, want 1.0", hi)
+	}
+	gap, err := WorstWindowGap(die, 50, 2, []geom.Rect{block})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap <= 0 {
+		t.Fatalf("fixed dissection should under-report this hotspot, gap = %v", gap)
+	}
+}
+
+func TestMultiWindowExtremes(t *testing.T) {
+	die := geom.R(0, 0, 200, 200)
+	lo, hi, err := MultiWindowExtremes(die, 100, 4, []geom.Rect{geom.R(0, 0, 100, 100)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo != 0 {
+		t.Fatalf("empty corner must have lo=0, got %v", lo)
+	}
+	if math.Abs(hi-1) > 1e-12 {
+		t.Fatalf("covered window must have hi=1, got %v", hi)
+	}
+}
+
+func TestMultiWindowMatchesFixedAtStride(t *testing.T) {
+	// Windows at offsets that are multiples of w must agree with the
+	// fixed-dissection densities.
+	die := geom.R(0, 0, 120, 120)
+	rng := rand.New(rand.NewSource(5))
+	var rects []geom.Rect
+	for i := 0; i < 30; i++ {
+		x, y := rng.Int63n(110), rng.Int63n(110)
+		rects = append(rects, geom.R(x, y, x+1+rng.Int63n(10), y+1+rng.Int63n(10)))
+	}
+	const w, r = 40, 4
+	m, err := MultiWindow(die, w, r, rects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for wj := 0; wj < 3; wj++ {
+		for wi := 0; wi < 3; wi++ {
+			win := geom.R(int64(wi)*w, int64(wj)*w, int64(wi+1)*w, int64(wj+1)*w)
+			var clipped []geom.Rect
+			for _, rc := range rects {
+				if c := rc.Intersect(win); !c.Empty() {
+					clipped = append(clipped, c)
+				}
+			}
+			want := float64(geom.UnionArea(clipped)) / float64(win.Area())
+			got := m.At(wi*r, wj*r)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("window (%d,%d): overlapping %v vs fixed %v", wi, wj, got, want)
+			}
+		}
+	}
+}
+
+func TestMultiWindowOverlapCountedOnce(t *testing.T) {
+	die := geom.R(0, 0, 80, 80)
+	dup := geom.R(10, 10, 30, 30)
+	m1, err := MultiWindow(die, 40, 2, []geom.Rect{dup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := MultiWindow(die, 40, 2, []geom.Rect{dup, dup, dup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range m1.V {
+		if math.Abs(m1.V[k]-m2.V[k]) > 1e-12 {
+			t.Fatalf("duplicated rects double-counted at %d: %v vs %v", k, m1.V[k], m2.V[k])
+		}
+	}
+}
+
+func TestMultiWindowErrors(t *testing.T) {
+	die := geom.R(0, 0, 100, 100)
+	if _, err := MultiWindow(die, 50, 0, nil); err == nil {
+		t.Fatal("r=0 must error")
+	}
+	if _, err := MultiWindow(die, 2, 4, nil); err == nil {
+		t.Fatal("w/r < 1 must error")
+	}
+	if _, err := MultiWindow(geom.Rect{}, 50, 2, nil); err == nil {
+		t.Fatal("empty die must error")
+	}
+}

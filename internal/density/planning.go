@@ -1,0 +1,194 @@
+package density
+
+import (
+	"fmt"
+	"math"
+
+	"dummyfill/internal/grid"
+)
+
+// LayerBounds carries the per-window density bounds of one layer used in
+// target density planning: Lower is the existing wire density l(i,j) and
+// Upper the achievable density u(i,j) given the feasible fill regions.
+type LayerBounds struct {
+	Lower, Upper *grid.Map
+}
+
+// Realize applies Eqn. (5): each window's planned density is the target
+// density td clamped into the window's feasible [l,u] range.
+func Realize(b LayerBounds, td float64) *grid.Map {
+	out := grid.NewMap(b.Lower.G)
+	for k, l := range b.Lower.V {
+		u := b.Upper.V[k]
+		switch {
+		case td < l:
+			out.V[k] = l
+		case td > u:
+			out.V[k] = u
+		default:
+			out.V[k] = td
+		}
+	}
+	return out
+}
+
+// PlanWeights are the density-score coefficients used as the planning
+// objective (the α/β of the variation, line-hotspot and outlier-hotspot
+// components of Eqn. 3/4; overlay is deliberately ignored at this stage,
+// as in §3.1).
+type PlanWeights struct {
+	AlphaVar, BetaVar         float64
+	AlphaLine, BetaLine       float64
+	AlphaOutlier, BetaOutlier float64
+}
+
+// scoreF is Eqn. (4): f(x) = max(0, 1 - x/β).
+func scoreF(x, beta float64) float64 {
+	if beta <= 0 {
+		return 0
+	}
+	s := 1 - x/beta
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// DensityScore evaluates the combined density score of one realized
+// density map per layer under w. Per Eqn. (3): variation and line-hotspot
+// raw values are summed across layers; the outlier component uses
+// Σσ(l)·Σoh(l).
+func DensityScore(maps []*grid.Map, w PlanWeights) float64 {
+	var sumSigma, sumLine, sumOut float64
+	for _, m := range maps {
+		met := Measure(m)
+		sumSigma += met.Sigma
+		sumLine += met.Line
+		sumOut += met.Outlier
+	}
+	return w.AlphaVar*scoreF(sumSigma, w.BetaVar) +
+		w.AlphaLine*scoreF(sumLine, w.BetaLine) +
+		w.AlphaOutlier*scoreF(sumSigma*sumOut, w.BetaOutlier)
+}
+
+// Plan is the result of target density planning.
+type Plan struct {
+	Td    []float64 // one target density per layer
+	Score float64   // density score of the realized plan
+}
+
+// PlanTargets finds per-layer target densities maximizing the density
+// score (§3.1). Case I: when every window of a layer can reach the
+// layer's maximum wire density, that value is optimal for the layer
+// (perfectly uniform). Case II: otherwise candidate targets between
+// max l(k,n) and min u(k,n) are searched with `steps` steps — jointly
+// across layers when the combination count is small, by coordinate
+// descent otherwise.
+func PlanTargets(bounds []LayerBounds, w PlanWeights, steps int) (*Plan, error) {
+	nl := len(bounds)
+	if nl == 0 {
+		return nil, fmt.Errorf("density: no layers to plan")
+	}
+	if steps < 2 {
+		steps = 2
+	}
+	cands := make([][]float64, nl)
+	for l, b := range bounds {
+		maxLower := math.Inf(-1)
+		minUpper := math.Inf(1)
+		for k, lo := range b.Lower.V {
+			up := b.Upper.V[k]
+			if lo > up+1e-12 {
+				return nil, fmt.Errorf("density: layer %d window %d has lower %.4f > upper %.4f", l, k, lo, up)
+			}
+			if lo > maxLower {
+				maxLower = lo
+			}
+			if up < minUpper {
+				minUpper = up
+			}
+		}
+		if maxLower <= minUpper {
+			// Case I: td = max wire density is reachable everywhere; the
+			// realized map is perfectly uniform and no search can do
+			// better, but we still include it among candidates so Case II
+			// layers can trade off against it in the joint search.
+			cands[l] = []float64{maxLower}
+			continue
+		}
+		// Case II: sweep the contested band.
+		lo, hi := minUpper, maxLower
+		cs := make([]float64, 0, steps+1)
+		for s := 0; s <= steps; s++ {
+			cs = append(cs, lo+(hi-lo)*float64(s)/float64(steps))
+		}
+		cands[l] = cs
+	}
+
+	evalCombo := func(td []float64) float64 {
+		maps := make([]*grid.Map, nl)
+		for l := range maps {
+			maps[l] = Realize(bounds[l], td[l])
+		}
+		return DensityScore(maps, w)
+	}
+
+	combos := 1
+	for _, cs := range cands {
+		combos *= len(cs)
+		if combos > 1<<16 {
+			break
+		}
+	}
+
+	best := &Plan{Td: make([]float64, nl), Score: math.Inf(-1)}
+	if combos <= 1<<16 {
+		// Exhaustive joint search.
+		td := make([]float64, nl)
+		var rec func(l int)
+		rec = func(l int) {
+			if l == nl {
+				if s := evalCombo(td); s > best.Score {
+					best.Score = s
+					copy(best.Td, td)
+				}
+				return
+			}
+			for _, c := range cands[l] {
+				td[l] = c
+				rec(l + 1)
+			}
+		}
+		rec(0)
+	} else {
+		// Coordinate descent from the per-layer midpoints.
+		td := make([]float64, nl)
+		for l := range td {
+			td[l] = cands[l][len(cands[l])/2]
+		}
+		cur := evalCombo(td)
+		for pass := 0; pass < 8; pass++ {
+			improved := false
+			for l := 0; l < nl; l++ {
+				bestC, bestS := td[l], cur
+				for _, c := range cands[l] {
+					td[l] = c
+					if s := evalCombo(td); s > bestS {
+						bestC, bestS = c, s
+					}
+				}
+				td[l] = bestC
+				if bestS > cur {
+					cur = bestS
+					improved = true
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		best.Score = cur
+		copy(best.Td, td)
+	}
+	return best, nil
+}

@@ -1,0 +1,96 @@
+package dlp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// TestAllBackendsAgree cross-checks the three problem-level solvers —
+// dual MCF via SSP, dual MCF via network simplex, and the dense simplex —
+// on random difference-constraint problems. Total unimodularity means all
+// must report the same optimal objective (and the same feasibility
+// verdict).
+func TestAllBackendsAgree(t *testing.T) {
+	backends := []struct {
+		name string
+		s    PSolver
+	}{
+		{"ViaSSP", ViaSSP},
+		{"ViaNetworkSimplex", ViaNetworkSimplex},
+		{"ViaSimplexLP", ViaSimplexLP},
+	}
+	rng := rand.New(rand.NewSource(31))
+	for it := 0; it < 80; it++ {
+		n := 2 + rng.Intn(8)
+		p := NewProblem(n, int64(5+rng.Intn(20)))
+		for i := 0; i < n; i++ {
+			p.C[i] = int64(rng.Intn(21) - 10)
+			p.Lo[i] = int64(rng.Intn(3))
+		}
+		for k := 0; k < rng.Intn(2*n); k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			if i == j {
+				continue
+			}
+			p.AddConstraint(i, j, int64(rng.Intn(9)-4))
+		}
+		type outcome struct {
+			obj      int64
+			feasible bool
+		}
+		var ref outcome
+		for bi, b := range backends {
+			x, obj, err := b.s(p)
+			o := outcome{obj, err == nil}
+			if err != nil && !errors.Is(err, ErrInfeasible) {
+				t.Fatalf("it %d %s: unexpected error %v", it, b.name, err)
+			}
+			if err == nil {
+				if cErr := p.Check(x); cErr != nil {
+					t.Fatalf("it %d %s: invalid solution: %v", it, b.name, cErr)
+				}
+			}
+			if bi == 0 {
+				ref = o
+				continue
+			}
+			if o.feasible != ref.feasible {
+				t.Fatalf("it %d %s: feasibility %v, ref %v", it, b.name, o.feasible, ref.feasible)
+			}
+			if o.feasible && o.obj != ref.obj {
+				t.Fatalf("it %d %s: objective %d, ref %d", it, b.name, o.obj, ref.obj)
+			}
+		}
+	}
+}
+
+func TestViaSimplexLPFig6(t *testing.T) {
+	p := NewProblem(4, 10)
+	p.C = []int64{1, 2, 3, 4}
+	p.AddConstraint(0, 1, 5)
+	p.AddConstraint(3, 2, 6)
+	x, obj, err := ViaSimplexLP(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj != 29 {
+		t.Fatalf("objective = %d (x=%v), want 29", obj, x)
+	}
+}
+
+func TestViaSimplexLPInfeasible(t *testing.T) {
+	p := NewProblem(2, 3)
+	p.AddConstraint(0, 1, 10)
+	_, _, err := ViaSimplexLP(p)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestViaSimplexLPValidates(t *testing.T) {
+	p := &Problem{C: []int64{1}, Lo: []int64{0, 0}, Hi: []int64{5}}
+	if _, _, err := ViaSimplexLP(p); err == nil {
+		t.Fatal("inconsistent problem must error")
+	}
+}

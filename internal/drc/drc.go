@@ -1,0 +1,129 @@
+// Package drc checks dummy-fill solutions against the fill rule set
+// (minimum width, minimum area, minimum spacing, maximum dimension, and
+// containment in the feasible fill regions). It is used by tests and by
+// the harness to certify that the engine's output is legal before scoring.
+package drc
+
+import (
+	"fmt"
+
+	"dummyfill/internal/geom"
+	"dummyfill/internal/layout"
+)
+
+// Kind labels a violation class.
+type Kind int
+
+// Violation kinds.
+const (
+	KindWidth Kind = iota
+	KindArea
+	KindMaxDim
+	KindSpacing
+	KindOutsideRegion
+	KindWireSpacing
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindWidth:
+		return "min-width"
+	case KindArea:
+		return "min-area"
+	case KindMaxDim:
+		return "max-dimension"
+	case KindSpacing:
+		return "fill-spacing"
+	case KindOutsideRegion:
+		return "outside-fill-region"
+	case KindWireSpacing:
+		return "wire-spacing"
+	default:
+		return "unknown"
+	}
+}
+
+// Violation is one DRC error.
+type Violation struct {
+	Kind  Kind
+	Layer int
+	A     geom.Rect // offending fill
+	B     geom.Rect // second shape for pairwise violations (zero otherwise)
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s on layer %d: %v vs %v", v.Kind, v.Layer, v.A, v.B)
+}
+
+// Check runs all fill DRC checks and returns the violations found.
+// checkRegions controls whether containment in the layout's declared fill
+// regions is enforced (tile-based baselines synthesize their own regions).
+func Check(lay *layout.Layout, sol *layout.Solution, checkRegions bool) []Violation {
+	var out []Violation
+	r := lay.Rules
+	perLayer := sol.PerLayer(len(lay.Layers))
+	for li, fills := range perLayer {
+		// Geometric per-fill rules.
+		for _, f := range fills {
+			if f.W() < r.MinWidth || f.H() < r.MinWidth {
+				out = append(out, Violation{KindWidth, li, f, geom.Rect{}})
+			}
+			if f.Area() < r.MinArea {
+				out = append(out, Violation{KindArea, li, f, geom.Rect{}})
+			}
+			if r.MaxFillDim > 0 && (f.W() > r.MaxFillDim || f.H() > r.MaxFillDim) {
+				out = append(out, Violation{KindMaxDim, li, f, geom.Rect{}})
+			}
+		}
+		// Fill-to-fill spacing.
+		ix := geom.NewIndex(lay.Die, 0)
+		for _, f := range fills {
+			ix.Insert(f)
+		}
+		for idA, f := range fills {
+			ex := f.Expand(r.MinSpace)
+			ix.Query(ex, func(idB int, other geom.Rect) bool {
+				if idB <= idA {
+					return true // report each pair once
+				}
+				gx, gy := f.Gap(other)
+				if gx < r.MinSpace && gy < r.MinSpace {
+					out = append(out, Violation{KindSpacing, li, f, other})
+				}
+				return true
+			})
+		}
+		// Fill-to-wire spacing.
+		wix := geom.NewIndex(lay.Die, 0)
+		for _, w := range lay.Layers[li].Wires {
+			wix.Insert(w)
+		}
+		for _, f := range fills {
+			if wix.AnyWithin(f, r.MinSpace, -1) {
+				out = append(out, Violation{KindWireSpacing, li, f, geom.Rect{}})
+			}
+		}
+		// Containment in feasible fill regions.
+		if checkRegions {
+			rix := geom.NewIndex(lay.Die, 0)
+			for _, fr := range lay.Layers[li].FillRegions {
+				rix.Insert(fr)
+			}
+			for _, f := range fills {
+				if rix.OverlapArea(f) != f.Area() {
+					out = append(out, Violation{KindOutsideRegion, li, f, geom.Rect{}})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// CountByKind tallies violations per kind.
+func CountByKind(vs []Violation) map[Kind]int {
+	out := map[Kind]int{}
+	for _, v := range vs {
+		out[v.Kind]++
+	}
+	return out
+}

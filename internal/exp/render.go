@@ -1,0 +1,172 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Format selects a renderer.
+type Format string
+
+// Supported output formats.
+const (
+	Text     Format = "text"
+	CSV      Format = "csv"
+	Markdown Format = "md"
+)
+
+// ParseFormat validates a format name.
+func ParseFormat(s string) (Format, error) {
+	switch Format(s) {
+	case Text, CSV, Markdown:
+		return Format(s), nil
+	default:
+		return "", fmt.Errorf("exp: unknown format %q (want text, csv or md)", s)
+	}
+}
+
+// table renders a header + rows in the chosen format.
+func table(w io.Writer, f Format, header []string, rows [][]string) error {
+	switch f {
+	case CSV:
+		write := func(cells []string) error {
+			for i, c := range cells {
+				if strings.ContainsAny(c, ",\"\n") {
+					c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+				}
+				if i > 0 {
+					if _, err := io.WriteString(w, ","); err != nil {
+						return err
+					}
+				}
+				if _, err := io.WriteString(w, c); err != nil {
+					return err
+				}
+			}
+			_, err := io.WriteString(w, "\n")
+			return err
+		}
+		if err := write(header); err != nil {
+			return err
+		}
+		for _, r := range rows {
+			if err := write(r); err != nil {
+				return err
+			}
+		}
+		return nil
+	case Markdown:
+		fmt.Fprintf(w, "| %s |\n", strings.Join(header, " | "))
+		seps := make([]string, len(header))
+		for i := range seps {
+			seps[i] = "---"
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+		for _, r := range rows {
+			fmt.Fprintf(w, "| %s |\n", strings.Join(r, " | "))
+		}
+		return nil
+	default: // Text: aligned columns
+		widths := make([]int, len(header))
+		for i, h := range header {
+			widths[i] = len(h)
+		}
+		for _, r := range rows {
+			for i, c := range r {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		line := func(cells []string) {
+			for i, c := range cells {
+				fmt.Fprintf(w, "%-*s ", widths[i], c)
+			}
+			fmt.Fprintln(w)
+		}
+		line(header)
+		for _, r := range rows {
+			line(r)
+		}
+		return nil
+	}
+}
+
+// RenderTable2 writes Table 2 rows.
+func RenderTable2(w io.Writer, f Format, rows []Table2Row) error {
+	header := []string{"design", "shapes", "layers", "file_size_bytes",
+		"beta_overlay", "beta_var", "beta_line", "beta_outlier", "beta_size_mib", "beta_rt_s", "beta_mem_mib"}
+	var cells [][]string
+	for _, r := range rows {
+		c := r.Coeffs
+		cells = append(cells, []string{
+			r.Design,
+			fmt.Sprintf("%d", r.Shapes),
+			fmt.Sprintf("%d", r.Layers),
+			fmt.Sprintf("%d", r.FileSizeB),
+			fmt.Sprintf("%.3e", c.BetaOverlay),
+			fmt.Sprintf("%.4f", c.BetaVar),
+			fmt.Sprintf("%.2f", c.BetaLine),
+			fmt.Sprintf("%.4f", c.BetaOutlier),
+			fmt.Sprintf("%.2f", c.BetaSize),
+			fmt.Sprintf("%.0f", c.BetaRuntime),
+			fmt.Sprintf("%.0f", c.BetaMemory),
+		})
+	}
+	return table(w, f, header, cells)
+}
+
+// RenderTable3 writes Table 3 rows.
+func RenderTable3(w io.Writer, f Format, rows []Table3Row) error {
+	header := []string{"design", "method", "overlay", "variation", "line",
+		"outlier", "size", "runtime", "memory", "quality", "score", "fills"}
+	var cells [][]string
+	for _, r := range rows {
+		rep := r.Report
+		cells = append(cells, []string{
+			r.Design, r.Method,
+			fmt.Sprintf("%.3f", rep.Overlay),
+			fmt.Sprintf("%.3f", rep.Variation),
+			fmt.Sprintf("%.3f", rep.Line),
+			fmt.Sprintf("%.3f", rep.Outlier),
+			fmt.Sprintf("%.3f", rep.Size),
+			fmt.Sprintf("%.3f", rep.Runtime),
+			fmt.Sprintf("%.3f", rep.Memory),
+			fmt.Sprintf("%.3f", rep.Quality),
+			fmt.Sprintf("%.3f", rep.Total),
+			fmt.Sprintf("%d", r.Fills),
+		})
+	}
+	return table(w, f, header, cells)
+}
+
+// RenderCMP writes CMP-motivation rows.
+func RenderCMP(w io.Writer, f Format, rows []CMPRow) error {
+	header := []string{"design", "layer", "range_before", "range_after", "improvement"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Design,
+			fmt.Sprintf("%d", r.Layer),
+			fmt.Sprintf("%.1f", r.RangeBefore),
+			fmt.Sprintf("%.1f", r.RangeAfter),
+			fmt.Sprintf("%.1fx", r.Improvement),
+		})
+	}
+	return table(w, f, header, cells)
+}
+
+// RenderFig6 writes the worked-example results.
+func RenderFig6(w io.Writer, f Format, rows []Fig6Result) error {
+	header := []string{"solver", "x", "objective"}
+	var cells [][]string
+	for _, r := range rows {
+		cells = append(cells, []string{
+			r.Solver,
+			fmt.Sprintf("%v", r.X),
+			fmt.Sprintf("%d", r.Objective),
+		})
+	}
+	return table(w, f, header, cells)
+}

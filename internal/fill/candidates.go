@@ -1,0 +1,266 @@
+package fill
+
+import (
+	"sort"
+
+	"dummyfill/internal/geom"
+	"dummyfill/internal/layout"
+)
+
+// cell is one candidate fill rectangle inside a window.
+type cell struct {
+	rect    geom.Rect
+	layer   int
+	quality float64 // Eqn. (8) score, set during selection
+	shared  bool    // lies in the region free on the neighbour layer too
+}
+
+// winLayer is the per-window per-layer working state.
+type winLayer struct {
+	wireArea int64       // union wire area clipped to the window
+	free     []geom.Rect // feasible fill region pieces clipped to window
+	cells    []cell      // tiled candidate cells (all layers' cells live in window.sel after selection)
+}
+
+// window is the unit of independent work.
+type window struct {
+	rect   geom.Rect
+	layers []winLayer
+	sel    []cell // selected candidates across layers (output of Alg. 1)
+}
+
+// TileRegion splits a free rectangle into candidate fill cells: a uniform
+// grid with pitch cell+MinSpace, cells capped at MaxFillDim and no smaller
+// than MinWidth/MinArea. Slivers that cannot host a legal fill are
+// dropped. Exported for reuse by the baseline fillers.
+func TileRegion(r geom.Rect, rules layout.Rules) []geom.Rect {
+	maxDim := rules.MaxFillDim
+	if maxDim <= 0 {
+		maxDim = 16 * rules.MinWidth
+	}
+	w, h := r.W(), r.H()
+	if w < rules.MinWidth || h < rules.MinWidth || w*h < rules.MinArea {
+		return nil
+	}
+	// Smallest cell counts keeping every cell within maxDim.
+	nx := int((w + rules.MinSpace + maxDim + rules.MinSpace - 1) / (maxDim + rules.MinSpace))
+	if nx < 1 {
+		nx = 1
+	}
+	ny := int((h + rules.MinSpace + maxDim + rules.MinSpace - 1) / (maxDim + rules.MinSpace))
+	if ny < 1 {
+		ny = 1
+	}
+	// Cell dimensions after reserving the spacing gutters.
+	cw := (w - int64(nx-1)*rules.MinSpace) / int64(nx)
+	ch := (h - int64(ny-1)*rules.MinSpace) / int64(ny)
+	if cw < rules.MinWidth || ch < rules.MinWidth || cw*ch < rules.MinArea {
+		return nil
+	}
+	out := make([]geom.Rect, 0, nx*ny)
+	y := r.YL
+	for j := 0; j < ny; j++ {
+		x := r.XL
+		for i := 0; i < nx; i++ {
+			out = append(out, geom.Rect{XL: x, YL: y, XH: x + cw, YH: y + ch})
+			x += cw + rules.MinSpace
+		}
+		y += ch + rules.MinSpace
+	}
+	return out
+}
+
+// coverageBy returns the area of r covered by the union of the rects in
+// ix.
+func coverageBy(ix *geom.Index, r geom.Rect) int64 { return ix.OverlapArea(r) }
+
+// selectCandidates runs Alg. 1 on one window: odd layers first (preferring
+// cells that are free on the neighbour layer too — "Region 3" of
+// Figs. 4/5), then even layers ranked by the quality score
+// q = −overlay/area + γ·area/aw (Eqn. 8). dt are the per-layer target
+// densities; selection stops once the window density reaches λ·dt.
+func (w *window) selectCandidates(lay *layout.Layout, dt []float64, lambda, gamma float64) {
+	aw := float64(w.rect.Area())
+	if aw == 0 {
+		return
+	}
+	nl := len(w.layers)
+	w.sel = w.sel[:0]
+
+	// Per-layer indexes of already-selected fills, used for overlay
+	// estimation of even layers.
+	selIx := make([]*geom.Index, nl)
+	for l := range selIx {
+		selIx[l] = geom.NewIndex(w.rect, 0)
+	}
+	// Wire indexes per layer (window-clipped).
+	wireIx := make([]*geom.Index, nl)
+	for l := 0; l < nl; l++ {
+		wireIx[l] = geom.NewIndex(w.rect, 0)
+		for _, wr := range lay.Layers[l].Wires {
+			c := wr.Intersect(w.rect)
+			if !c.Empty() {
+				wireIx[l].Insert(c)
+			}
+		}
+	}
+	// Free-region indexes per layer for the shared-region test.
+	freeIx := make([]*geom.Index, nl)
+	for l := 0; l < nl; l++ {
+		freeIx[l] = geom.NewIndex(w.rect, 0)
+		for _, fr := range w.layers[l].free {
+			freeIx[l].Insert(fr)
+		}
+	}
+
+	assign := func(l int, cells []cell) {
+		target := lambda * dt[l] * aw
+		cur := float64(w.layers[l].wireArea)
+		for _, c := range cells {
+			if cur >= target {
+				break
+			}
+			w.sel = append(w.sel, c)
+			selIx[l].Insert(c.rect)
+			cur += float64(c.rect.Area())
+		}
+	}
+	// assignSpaced additionally skips cells violating spacing against
+	// already-selected same-layer cells (the two even-layer batches come
+	// from different tilings and may collide).
+	assignSpaced := func(l int, cells []cell) {
+		target := lambda * dt[l] * aw
+		cur := float64(w.layers[l].wireArea)
+		for _, c := range cells {
+			if cur >= target {
+				break
+			}
+			if selIx[l].AnyWithin(c.rect, lay.Rules.MinSpace, -1) {
+				continue
+			}
+			w.sel = append(w.sel, c)
+			selIx[l].Insert(c.rect)
+			cur += float64(c.rect.Area())
+		}
+	}
+
+	// Pass 1: odd layers (1-based odd ⇒ 0-based even indices 0,2,4,…).
+	for l := 0; l < nl; l += 2 {
+		cells := make([]cell, len(w.layers[l].cells))
+		copy(cells, w.layers[l].cells)
+		dg := dt[l] - float64(w.layers[l].wireArea)/aw
+		useShared := false
+		if l+1 < nl {
+			dg1 := dt[l+1] - float64(w.layers[l+1].wireArea)/aw
+			var sharedArea int64
+			for i := range cells {
+				cov := coverageBy(freeIx[l+1], cells[i].rect)
+				cells[i].shared = cov == cells[i].rect.Area()
+				if cells[i].shared {
+					sharedArea += cells[i].rect.Area()
+				}
+			}
+			need := (maxF(dg, 0) + maxF(dg1, 0)) * aw
+			useShared = float64(sharedArea) >= need
+		}
+		_ = dg
+		if useShared {
+			// Zero-overlay case: prefer cells free on both layers, larger
+			// first within each class.
+			sort.Slice(cells, func(a, b int) bool {
+				if cells[a].shared != cells[b].shared {
+					return cells[a].shared
+				}
+				return cells[a].rect.Area() > cells[b].rect.Area()
+			})
+		} else {
+			// Non-zero overlay case: plain size order (Alg. 1 line 16).
+			sort.Slice(cells, func(a, b int) bool {
+				return cells[a].rect.Area() > cells[b].rect.Area()
+			})
+		}
+		for i := range cells {
+			cells[i].quality = gamma * float64(cells[i].rect.Area()) / aw
+			if cells[i].shared {
+				cells[i].quality += 1 // zero-overlay bonus keeps them preferred later
+			}
+		}
+		assign(l, cells)
+	}
+
+	// Pass 2: even layers (0-based odd indices 1,3,5,…). Two candidate
+	// batches: first, cells carved from the region with no shape above or
+	// below (true Region 3 of Figs. 4/5 — zero overlay by construction);
+	// then the ordinary grid cells in quality order (Eqn. 8) to cover the
+	// remaining density demand. Grid cells that would violate spacing
+	// against already-selected same-layer cells are skipped.
+	inset := (lay.Rules.MinSpace + 1) / 2
+	for l := 1; l < nl; l += 2 {
+		var neighbors []geom.Rect
+		collect := func(ix *geom.Index) {
+			ix.Query(w.rect, func(_ int, r geom.Rect) bool {
+				neighbors = append(neighbors, r)
+				return true
+			})
+		}
+		if l-1 >= 0 {
+			collect(selIx[l-1])
+			collect(wireIx[l-1])
+		}
+		if l+1 < nl {
+			collect(selIx[l+1])
+			collect(wireIx[l+1])
+		}
+		var zero []cell
+		for _, piece := range w.layers[l].free {
+			vertical := piece.H() > piece.W()
+			for _, zr := range geom.DifferenceOriented(piece, neighbors, vertical) {
+				for _, r := range TileRegion(zr.Expand(-inset), lay.Rules) {
+					zero = append(zero, cell{rect: r, layer: l, shared: true})
+				}
+			}
+		}
+		for i := range zero {
+			// Zero overlay: quality is the pure area term plus a bonus so
+			// these always outrank overlapped cells downstream.
+			zero[i].quality = 1 + gamma*float64(zero[i].rect.Area())/aw
+		}
+		grid := make([]cell, len(w.layers[l].cells))
+		copy(grid, w.layers[l].cells)
+		for i := range grid {
+			var ov int64
+			if l-1 >= 0 {
+				ov += coverageBy(selIx[l-1], grid[i].rect)
+				ov += coverageBy(wireIx[l-1], grid[i].rect)
+			}
+			if l+1 < nl {
+				ov += coverageBy(selIx[l+1], grid[i].rect)
+				ov += coverageBy(wireIx[l+1], grid[i].rect)
+			}
+			area := float64(grid[i].rect.Area())
+			grid[i].quality = -float64(ov)/area + gamma*area/aw
+		}
+		sort.Slice(zero, func(a, b int) bool { return zero[a].rect.Area() > zero[b].rect.Area() })
+		sort.Slice(grid, func(a, b int) bool { return grid[a].quality > grid[b].quality })
+		// Case I (Fig. 4): the zero-overlay region alone meets the demand —
+		// fill entirely inside it. Case II (Fig. 5): it cannot — use the
+		// full grid in quality order instead (mixing the two tilings wastes
+		// area on spacing conflicts between them).
+		var zeroArea int64
+		for _, c := range zero {
+			zeroArea += c.rect.Area()
+		}
+		if float64(w.layers[l].wireArea+zeroArea) >= lambda*dt[l]*aw {
+			assignSpaced(l, zero)
+		} else {
+			assignSpaced(l, grid)
+		}
+	}
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,341 @@
+package fill
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dummyfill/internal/density"
+	"dummyfill/internal/geom"
+	"dummyfill/internal/grid"
+	"dummyfill/internal/layout"
+	"dummyfill/internal/score"
+)
+
+// Engine runs the full fill insertion flow of Fig. 3 over a layout.
+type Engine struct {
+	lay  *layout.Layout
+	opts Options
+	g    *grid.Grid
+}
+
+// Result is the outcome of a full engine run.
+type Result struct {
+	Solution layout.Solution
+	// FirstTargets and Targets are the per-layer target densities from the
+	// two planning rounds (before and after candidate generation).
+	FirstTargets []float64
+	Targets      []float64
+	// Candidates is the number of candidate fills selected by Alg. 1
+	// before sizing and pruning.
+	Candidates int
+	// UpperBounds are the per-layer achievable-density maps used by the
+	// second planning round (wire + selected candidate area per window),
+	// useful for diagnosing coverage limits.
+	UpperBounds []*grid.Map
+	// Windows is the number of grid windows processed.
+	Windows int
+}
+
+// New validates the layout and constructs an engine.
+func New(lay *layout.Layout, opts Options) (*Engine, error) {
+	if err := lay.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Lambda < 1 {
+		return nil, fmt.Errorf("fill: Lambda must be >= 1, got %v", opts.Lambda)
+	}
+	if opts.Solver == nil {
+		return nil, fmt.Errorf("fill: Options.Solver is required (use DefaultOptions)")
+	}
+	if opts.MaxSizingPasses < 1 {
+		return nil, fmt.Errorf("fill: MaxSizingPasses must be >= 1, got %d", opts.MaxSizingPasses)
+	}
+	g, err := lay.Grid()
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{lay: lay, opts: opts, g: g}, nil
+}
+
+// Run executes the flow: prepare windows → density planning → candidate
+// generation (Alg. 1) → density re-planning → sizing via dual min-cost
+// flow → solution assembly.
+func (e *Engine) Run() (*Result, error) {
+	wins := e.prepareWindows()
+
+	// Planning round 1: bounds from tileable candidate area.
+	bounds := e.bounds(wins, nil)
+	plan1, err := density.PlanTargets(bounds, e.planWeights(), e.opts.PlanSteps)
+	if err != nil {
+		return nil, err
+	}
+	e.applyMinDensity(plan1.Td)
+
+	// Candidate generation under plan-1 guidance.
+	e.forEachWindow(wins, func(w *window) error {
+		w.selectCandidates(e.lay, plan1.Td, e.opts.Lambda, e.opts.Gamma)
+		return nil
+	})
+	numCand := 0
+	for _, w := range wins {
+		numCand += len(w.sel)
+	}
+
+	// Planning round 2: bounds restricted to what was actually selected
+	// (§3 — "another round of density planning is performed due to the
+	// inconsistency between candidate fills and initial plans").
+	bounds2 := e.bounds(wins, selectedAreas(wins, len(e.lay.Layers)))
+	plan2, err := density.PlanTargets(bounds2, e.planWeights(), e.opts.PlanSteps)
+	if err != nil {
+		return nil, err
+	}
+	e.applyMinDensity(plan2.Td)
+	uppers := make([]*grid.Map, len(bounds2))
+	for i := range bounds2 {
+		uppers[i] = bounds2[i].Upper
+	}
+
+	// Sizing per window.
+	var mu sync.Mutex
+	sol := layout.Solution{}
+	err = e.forEachWindow(wins, func(w *window) error {
+		targets := e.windowTargets(w, plan2.Td)
+		sized, err := sizeWindow(w, e.lay, targets, e.opts)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		for _, c := range sized {
+			sol.Fills = append(sol.Fills, layout.Fill{Layer: c.layer, Rect: c.rect})
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		Solution:     sol,
+		FirstTargets: plan1.Td,
+		Targets:      plan2.Td,
+		Candidates:   numCand,
+		UpperBounds:  uppers,
+		Windows:      len(wins),
+	}, nil
+}
+
+// applyMinDensity floors the planned targets at Options.MinDensity.
+func (e *Engine) applyMinDensity(td []float64) {
+	if e.opts.MinDensity <= 0 {
+		return
+	}
+	for l := range td {
+		if td[l] < e.opts.MinDensity {
+			td[l] = e.opts.MinDensity
+		}
+	}
+}
+
+// planWeights derives planning weights from contest α weights with
+// layout-scale βs: planning only needs relative weighting, so βs are set
+// from the unfilled layout's metrics (worst case) to keep all three terms
+// in range.
+func (e *Engine) planWeights() density.PlanWeights {
+	c := score.ContestAlphas()
+	// Baseline metrics of the unfilled layout.
+	var sumSigma, sumLine, sumOut float64
+	for li := range e.lay.Layers {
+		m := density.Measure(e.lay.WireDensityMap(e.g, li))
+		sumSigma += m.Sigma
+		sumLine += m.Line
+		sumOut += m.Outlier
+	}
+	w := density.PlanWeights{
+		AlphaVar: c.AlphaVar, BetaVar: sumSigma,
+		AlphaLine: c.AlphaLine, BetaLine: sumLine,
+		AlphaOutlier: c.AlphaOutlier, BetaOutlier: sumSigma * sumOut,
+	}
+	// Guard against perfectly uniform inputs.
+	if w.BetaVar <= 0 {
+		w.BetaVar = 1
+	}
+	if w.BetaLine <= 0 {
+		w.BetaLine = 1
+	}
+	if w.BetaOutlier <= 0 {
+		w.BetaOutlier = 1
+	}
+	return w
+}
+
+// prepareWindows clips fill regions and wires into windows and tiles the
+// free regions into candidate cells.
+func (e *Engine) prepareWindows() []*window {
+	nw := e.g.NumWindows()
+	nl := len(e.lay.Layers)
+	wins := make([]*window, nw)
+	for k := 0; k < nw; k++ {
+		i, j := k%e.g.NX, k/e.g.NX
+		wins[k] = &window{rect: e.g.Window(i, j), layers: make([]winLayer, nl)}
+	}
+	// Free-region pieces (and hence the cells tiled from them) may abut:
+	// Difference-slab decomposition splits regions into touching slabs and
+	// window clipping cuts regions at window borders. Insetting every
+	// window-clipped piece by half the minimum spacing makes all cells
+	// pairwise legal from birth — including across window boundaries,
+	// which the per-window sizing LP could not repair.
+	inset := (e.lay.Rules.MinSpace + 1) / 2
+	for li, layer := range e.lay.Layers {
+		// Free regions per window.
+		for _, fr := range layer.FillRegions {
+			e.g.RangeOverlapping(fr, func(i, j int, clip geom.Rect) {
+				clip = clip.Expand(-inset)
+				if clip.Empty() {
+					return
+				}
+				wl := &wins[j*e.g.NX+i].layers[li]
+				wl.free = append(wl.free, clip)
+			})
+		}
+		// Wire area per window (union-exact).
+		perWin := make(map[int][]geom.Rect)
+		for _, wr := range layer.Wires {
+			e.g.RangeOverlapping(wr, func(i, j int, clip geom.Rect) {
+				k := j*e.g.NX + i
+				perWin[k] = append(perWin[k], clip)
+			})
+		}
+		for k, rects := range perWin {
+			wins[k].layers[li].wireArea = geom.UnionArea(rects)
+		}
+	}
+	// Tile free regions into candidate cells.
+	e.forEachWindow(wins, func(w *window) error {
+		for li := range w.layers {
+			wl := &w.layers[li]
+			for _, fr := range wl.free {
+				for _, r := range TileRegion(fr, e.lay.Rules) {
+					wl.cells = append(wl.cells, cell{rect: r, layer: li})
+				}
+			}
+		}
+		return nil
+	})
+	return wins
+}
+
+// bounds derives per-layer planning bounds. When selected is nil the upper
+// bound uses all tileable cells; otherwise the given per-window selected
+// areas.
+func (e *Engine) bounds(wins []*window, selected [][]int64) []density.LayerBounds {
+	nl := len(e.lay.Layers)
+	out := make([]density.LayerBounds, nl)
+	for li := 0; li < nl; li++ {
+		lower := grid.NewMap(e.g)
+		upper := grid.NewMap(e.g)
+		for k, w := range wins {
+			aw := float64(w.rect.Area())
+			if aw == 0 {
+				continue
+			}
+			wl := w.layers[li]
+			var fillable int64
+			if selected != nil {
+				fillable = selected[k][li]
+			} else {
+				for _, c := range wl.cells {
+					fillable += c.rect.Area()
+				}
+			}
+			lower.V[k] = float64(wl.wireArea) / aw
+			upper.V[k] = float64(wl.wireArea+fillable) / aw
+		}
+		out[li] = density.LayerBounds{Lower: lower, Upper: upper}
+	}
+	return out
+}
+
+// selectedAreas sums the selected candidate area per window per layer.
+func selectedAreas(wins []*window, nl int) [][]int64 {
+	out := make([][]int64, len(wins))
+	for k, w := range wins {
+		out[k] = make([]int64, nl)
+		for _, c := range w.sel {
+			out[k][c.layer] += c.rect.Area()
+		}
+	}
+	return out
+}
+
+// windowTargets converts the per-layer target densities into per-window
+// target fill areas, clamped to what the window can hold (Eqn. 5).
+func (e *Engine) windowTargets(w *window, td []float64) []int64 {
+	nl := len(w.layers)
+	out := make([]int64, nl)
+	selArea := make([]int64, nl)
+	for _, c := range w.sel {
+		selArea[c.layer] += c.rect.Area()
+	}
+	aw := float64(w.rect.Area())
+	for l := 0; l < nl; l++ {
+		want := int64(td[l]*aw) - w.layers[l].wireArea
+		if want < 0 {
+			want = 0
+		}
+		if want > selArea[l] {
+			want = selArea[l]
+		}
+		out[l] = want
+	}
+	return out
+}
+
+// forEachWindow applies fn to every window, in parallel across workers.
+// The first error wins; all workers drain.
+func (e *Engine) forEachWindow(wins []*window, fn func(*window) error) error {
+	workers := e.opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(wins) {
+		workers = len(wins)
+	}
+	if workers <= 1 {
+		for _, w := range wins {
+			if err := fn(w); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var wg sync.WaitGroup
+	work := make(chan *window)
+	errCh := make(chan error, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for w := range work {
+				if err := fn(w); err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+				}
+			}
+		}()
+	}
+	for _, w := range wins {
+		work <- w
+	}
+	close(work)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}

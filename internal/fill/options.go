@@ -1,0 +1,55 @@
+// Package fill implements the paper's dummy fill insertion framework
+// (Fig. 3): window-level target density planning, candidate fill
+// generation with overlay awareness (Alg. 1), and fill sizing via
+// alternating-direction dual min-cost flow (§3.3).
+package fill
+
+import "dummyfill/internal/dlp"
+
+// Options tune the engine. The zero value is not usable; start from
+// DefaultOptions.
+type Options struct {
+	// Lambda is the candidate overfill factor λ ≥ 1 of Alg. 1: candidates
+	// are generated until each window reaches λ·(target density).
+	Lambda float64
+	// Gamma is the γ weight of the candidate quality score (Eqn. 8).
+	Gamma float64
+	// Eta is the overlay weight η in the sizing objective (Eqn. 9a).
+	Eta int64
+	// PlanSteps is the search resolution of Case-II target density
+	// planning (§3.1).
+	PlanSteps int
+	// MaxSizingPasses bounds the alternating H/V sizing iterations.
+	MaxSizingPasses int
+	// Solver solves the per-direction difference-constraint LPs. Defaults
+	// to the dual min-cost-flow SSP solver (dlp.ViaSSP);
+	// dlp.ViaNetworkSimplex and the dense-simplex dlp.ViaSimplexLP are
+	// drop-in replacements for ablation studies.
+	Solver dlp.PSolver
+	// Workers bounds window-level parallelism (0 = GOMAXPROCS).
+	Workers int
+	// MinDensity is an optional lower density rule: planned targets are
+	// floored at this value (0 disables). Foundry fill decks typically
+	// require a minimum metal density per window; the contest objective
+	// alone would happily leave an empty layer empty.
+	MinDensity float64
+	// MaxAspect is an optional lithography-friendliness rule (the paper's
+	// stated future work): fills are sized toward an aspect ratio of at
+	// most MaxAspect where shrinking suffices to achieve it (fills can
+	// only shrink, so a cell already thinner than 1/MaxAspect stays as
+	// is). 0 disables.
+	MaxAspect float64
+}
+
+// DefaultOptions returns the parameters used in the paper's experiments
+// where stated (γ = 1, η = 1) and sensible defaults elsewhere.
+func DefaultOptions() Options {
+	return Options{
+		Lambda:          1.15,
+		Gamma:           1,
+		Eta:             1,
+		PlanSteps:       24,
+		MaxSizingPasses: 6,
+		Solver:          dlp.ViaSSP,
+	}
+}

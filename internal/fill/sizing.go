@@ -1,0 +1,414 @@
+package fill
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"dummyfill/internal/dlp"
+	"dummyfill/internal/geom"
+	"dummyfill/internal/layout"
+)
+
+// sizeWindow shrinks the selected candidates of one window so that each
+// layer's fill area converges to its target area while overlay with
+// neighbouring layers is minimized (§3.3). The non-convex problem (Eqn. 9)
+// is relaxed by alternating directions: with heights fixed, widths are the
+// solution of a difference-constraint LP (Eqns. 10–13) solved exactly via
+// dual min-cost flow (Eqn. 14–16); then the roles swap.
+//
+// targets[l] is the desired fill area (not density) for layer l within
+// this window. Returns the surviving sized fills.
+func sizeWindow(w *window, lay *layout.Layout, targets []int64, opts Options) ([]cell, error) {
+	if len(w.sel) == 0 {
+		return nil, nil
+	}
+	rules := lay.Rules
+	cells := make([]cell, len(w.sel))
+	copy(cells, w.sel)
+
+	// Deletion pre-pass: while a layer's selected area exceeds its target
+	// by at least the area of its worst candidate, drop that candidate
+	// entirely. Fewer fills → smaller GDSII, and the sizing LP converges
+	// from a closer starting point.
+	cells = pruneSurplus(cells, targets, len(lay.Layers))
+
+	nl := len(lay.Layers)
+	// Wire indexes per layer, window-clipped, reused across passes.
+	wireIx := make([]*geom.Index, nl)
+	for l := 0; l < nl; l++ {
+		wireIx[l] = geom.NewIndex(w.rect, 0)
+		for _, wr := range lay.Layers[l].Wires {
+			if c := wr.Intersect(w.rect); !c.Empty() {
+				wireIx[l].Insert(c)
+			}
+		}
+	}
+
+	for pass := 0; pass < opts.MaxSizingPasses; pass++ {
+		horizontal := pass%2 == 0
+		next, changed, err := sizingPass(cells, w, lay, wireIx, targets, horizontal, opts)
+		for dropN := 1; errors.Is(err, dlp.ErrInfeasible); dropN *= 2 {
+			// The spacing chains cannot fit: delete the lowest-quality
+			// conflicted cells, doubling the batch on every retry.
+			cells, err = dropCrowded(cells, dropN, rules)
+			if err != nil {
+				return nil, err
+			}
+			next, changed, err = sizingPass(cells, w, lay, wireIx, targets, horizontal, opts)
+		}
+		if err != nil {
+			return nil, err
+		}
+		cells = next
+		if !changed && pass >= 2 {
+			break
+		}
+	}
+	// Drop cells that have been shrunk into illegality (defensive; the
+	// bounds should prevent this).
+	out := cells[:0]
+	for _, c := range cells {
+		r := c.rect
+		if r.W() >= rules.MinWidth && r.H() >= rules.MinWidth && r.Area() >= rules.MinArea {
+			out = append(out, c)
+		}
+	}
+	return out, nil
+}
+
+// pruneSurplus removes lowest-quality cells while a layer remains over
+// target even without them.
+func pruneSurplus(cells []cell, targets []int64, nl int) []cell {
+	area := make([]int64, nl)
+	for _, c := range cells {
+		area[c.layer] += c.rect.Area()
+	}
+	// Sort ascending by quality so the worst are considered first; keep
+	// original order otherwise (stable for determinism).
+	idx := make([]int, len(cells))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return cells[idx[a]].quality < cells[idx[b]].quality })
+	drop := make([]bool, len(cells))
+	for _, i := range idx {
+		l := cells[i].layer
+		a := cells[i].rect.Area()
+		if area[l]-a >= targets[l] {
+			drop[i] = true
+			area[l] -= a
+		}
+	}
+	out := cells[:0]
+	for i, c := range cells {
+		if !drop[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// sizingPass runs one directional LP over all cells in the window.
+func sizingPass(cells []cell, w *window, lay *layout.Layout, wireIx []*geom.Index, targets []int64, horizontal bool, opts Options) ([]cell, bool, error) {
+	nl := len(lay.Layers)
+	rules := lay.Rules
+	n := len(cells)
+	if n == 0 {
+		return cells, false, nil
+	}
+
+	// Current per-layer areas and neighbour-shape indexes (wires + fills
+	// of the adjacent layers) for overlay linearization.
+	area := make([]int64, nl)
+	fillIx := make([]*geom.Index, nl)
+	for l := range fillIx {
+		fillIx[l] = geom.NewIndex(w.rect, 0)
+	}
+	for _, c := range cells {
+		area[c.layer] += c.rect.Area()
+		fillIx[c.layer].Insert(c.rect)
+	}
+	surplus := make([]int64, nl)
+	totalCross := make([]int64, nl) // Σ of cross dimension per layer
+	for l := range surplus {
+		surplus[l] = area[l] - targets[l]
+	}
+	for _, c := range cells {
+		if horizontal {
+			totalCross[c.layer] += c.rect.H()
+		} else {
+			totalCross[c.layer] += c.rect.W()
+		}
+	}
+
+	// Per-cell overlay with neighbour layers at current geometry.
+	ov := make([]int64, n)
+	for i, c := range cells {
+		var o int64
+		if c.layer > 0 {
+			o += fillIx[c.layer-1].OverlapArea(c.rect) + wireIx[c.layer-1].OverlapArea(c.rect)
+		}
+		if c.layer+1 < nl {
+			o += fillIx[c.layer+1].OverlapArea(c.rect) + wireIx[c.layer+1].OverlapArea(c.rect)
+		}
+		ov[i] = o
+	}
+
+	// Cells involved in a spacing conflict must retain shrink freedom even
+	// when their layer is under target, or the spacing constraints below
+	// could be infeasible against frozen sizes.
+	conflicted := make([]bool, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if cells[i].layer != cells[j].layer {
+				continue
+			}
+			gx, gy := cells[i].rect.Gap(cells[j].rect)
+			if gx < rules.MinSpace && gy < rules.MinSpace {
+				conflicted[i] = true
+				conflicted[j] = true
+			}
+		}
+	}
+
+	// Per-pass shrink budget (§3.3.3): only layers above target shed area,
+	// and each pass removes at most ≈ the surplus, so fill density cannot
+	// keep drifting away from the target once reached. Overlay-carrying
+	// cells absorb the budget first; plain cells only shed what remains.
+	minDims := make([]int64, n)
+	type budgetAcc struct {
+		ovCross, plainCross int64 // Σ cross dims by class
+		ovRemovable         int64 // max area the ov class can shed
+	}
+	acc := make([]budgetAcc, nl)
+	for i, c := range cells {
+		lo, hi, crossDim := edges(c.rect, horizontal)
+		dim := hi - lo
+		md := minDimFor(rules, crossDim)
+		if md > dim {
+			md = dim // already at/below the legal minimum: freeze size
+		}
+		minDims[i] = md
+		if ov[i] > 0 {
+			acc[c.layer].ovCross += crossDim
+			acc[c.layer].ovRemovable += (dim - md) * crossDim
+		} else {
+			acc[c.layer].plainCross += crossDim
+		}
+	}
+	ovStep := make([]int64, nl)
+	plainStep := make([]int64, nl)
+	for l := 0; l < nl; l++ {
+		s := surplus[l]
+		if s <= 0 {
+			continue
+		}
+		if acc[l].ovRemovable >= s {
+			// Overlay cells alone can cover the surplus.
+			if acc[l].ovCross > 0 {
+				ovStep[l] = (s + acc[l].ovCross - 1) / acc[l].ovCross
+			}
+		} else {
+			ovStep[l] = 1 << 40 // full shrink for ov cells
+			if rest := s - acc[l].ovRemovable; rest > 0 && acc[l].plainCross > 0 {
+				plainStep[l] = (rest + acc[l].plainCross - 1) / acc[l].plainCross
+			}
+		}
+	}
+
+	// Build the difference-constraint LP: two variables per cell (low and
+	// high edge in the active direction).
+	p := dlp.NewProblem(2*n, 0)
+	for i, c := range cells {
+		lo, hi, crossDim := edges(c.rect, horizontal)
+		dim := hi - lo
+		minDim := minDims[i]
+		step := plainStep[c.layer]
+		if ov[i] > 0 {
+			step = ovStep[c.layer]
+		}
+		if conflicted[i] {
+			// Spacing resolution needs freedom regardless of the budget.
+			step = dim - minDim
+		}
+		// Lithography aspect rule (Options.MaxAspect): cells longer than
+		// MaxAspect×cross get enough freedom to shrink to the cap, rule
+		// before density.
+		var aspectCap int64
+		if opts.MaxAspect > 0 {
+			aspectCap = int64(opts.MaxAspect * float64(crossDim))
+			if aspectCap < minDim {
+				aspectCap = 0 // cell too thin to ever satisfy the rule
+			} else if dim > aspectCap {
+				if need := dim - aspectCap; step < need {
+					step = need
+				}
+			}
+		}
+		if step > dim-minDim {
+			step = dim - minDim
+		}
+		minKeep := dim - step
+		if minKeep < minDim {
+			minKeep = minDim
+		}
+		// Variable bounds: edges stay within the original cell.
+		p.Lo[2*i] = lo
+		p.Hi[2*i] = hi - minDim
+		p.Lo[2*i+1] = lo + minDim
+		p.Hi[2*i+1] = hi
+		// Width constraint: high − low ≥ minKeep.
+		p.AddConstraint(2*i+1, 2*i, minKeep)
+		// Aspect cap as a difference constraint: dim ≤ aspectCap, i.e.
+		// low − high ≥ −aspectCap.
+		if aspectCap > 0 && aspectCap < dim {
+			p.AddConstraint(2*i, 2*i+1, -aspectCap)
+		}
+		// Cost: density-gap slope ± crossDim plus overlay slope η·ov/dim.
+		var cost int64
+		switch {
+		case surplus[c.layer] > 0:
+			cost = crossDim
+		case surplus[c.layer] < 0:
+			cost = -crossDim
+		}
+		if dim > 0 {
+			cost += opts.Eta * (ov[i] / dim)
+		}
+		p.C[2*i+1] = cost
+		p.C[2*i] = -cost
+	}
+
+	// Spacing constraints between same-layer cells that are close in the
+	// cross direction and separable in the active direction.
+	type pairKey struct{ a, b int }
+	seen := map[pairKey]bool{}
+	spacingPairs := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if cells[i].layer != cells[j].layer {
+				continue
+			}
+			gx, gy := cells[i].rect.Gap(cells[j].rect)
+			if gx >= rules.MinSpace || gy >= rules.MinSpace {
+				continue // already legal and shrink-only keeps it so
+			}
+			var lowIdx, highIdx int
+			var sep bool
+			if horizontal {
+				switch {
+				case cells[i].rect.XH <= cells[j].rect.XL:
+					lowIdx, highIdx, sep = i, j, true
+				case cells[j].rect.XH <= cells[i].rect.XL:
+					lowIdx, highIdx, sep = j, i, true
+				}
+			} else {
+				switch {
+				case cells[i].rect.YH <= cells[j].rect.YL:
+					lowIdx, highIdx, sep = i, j, true
+				case cells[j].rect.YH <= cells[i].rect.YL:
+					lowIdx, highIdx, sep = j, i, true
+				}
+			}
+			if !sep {
+				continue // the other pass will separate this pair
+			}
+			k := pairKey{lowIdx, highIdx}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			// low edge of the right/top cell minus high edge of the
+			// left/bottom cell ≥ MinSpace.
+			p.AddConstraint(2*highIdx, 2*lowIdx+1, rules.MinSpace)
+			spacingPairs++
+		}
+	}
+
+	x, _, err := opts.Solver(p)
+	if err != nil {
+		if errors.Is(err, dlp.ErrInfeasible) && spacingPairs > 0 {
+			// The spacing chain cannot fit within the shrink bounds; the
+			// caller deletes crowded cells and retries.
+			return nil, false, err
+		}
+		return nil, false, fmt.Errorf("fill: sizing LP failed: %w", err)
+	}
+
+	changed := false
+	out := make([]cell, n)
+	for i, c := range cells {
+		r := c.rect
+		if horizontal {
+			r.XL, r.XH = x[2*i], x[2*i+1]
+		} else {
+			r.YL, r.YH = x[2*i], x[2*i+1]
+		}
+		if r != c.rect {
+			changed = true
+		}
+		c.rect = r
+		out[i] = c
+	}
+	return out, changed, nil
+}
+
+// edges extracts the (low, high) edges in the active direction and the
+// fixed cross dimension.
+func edges(r geom.Rect, horizontal bool) (lo, hi, cross int64) {
+	if horizontal {
+		return r.XL, r.XH, r.H()
+	}
+	return r.YL, r.YH, r.W()
+}
+
+// minDimFor is Eqn. (12): the minimum legal dimension given the fixed
+// cross dimension — max(wm, ceil(am/cross)).
+func minDimFor(rules layout.Rules, cross int64) int64 {
+	m := rules.MinWidth
+	if cross > 0 {
+		if byArea := (rules.MinArea + cross - 1) / cross; byArea > m {
+			m = byArea
+		}
+	}
+	return m
+}
+
+// dropCrowded deletes the dropN lowest-quality cells that participate in
+// a spacing conflict.
+func dropCrowded(cells []cell, dropN int, rules layout.Rules) ([]cell, error) {
+	var conflictIdx []int
+	for i := range cells {
+		for j := range cells {
+			if i == j || cells[i].layer != cells[j].layer {
+				continue
+			}
+			gx, gy := cells[i].rect.Gap(cells[j].rect)
+			if gx < rules.MinSpace && gy < rules.MinSpace {
+				conflictIdx = append(conflictIdx, i)
+				break
+			}
+		}
+	}
+	if len(conflictIdx) == 0 {
+		return nil, fmt.Errorf("fill: sizing infeasible with no spacing conflicts")
+	}
+	sort.Slice(conflictIdx, func(a, b int) bool {
+		return cells[conflictIdx[a]].quality < cells[conflictIdx[b]].quality
+	})
+	if dropN > len(conflictIdx) {
+		dropN = len(conflictIdx)
+	}
+	drop := make(map[int]bool, dropN)
+	for _, i := range conflictIdx[:dropN] {
+		drop[i] = true
+	}
+	next := make([]cell, 0, len(cells)-dropN)
+	for i, c := range cells {
+		if !drop[i] {
+			next = append(next, c)
+		}
+	}
+	return next, nil
+}

@@ -1,0 +1,277 @@
+package gdsii
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"dummyfill/internal/geom"
+	"dummyfill/internal/layout"
+)
+
+// Boundary is one polygon element.
+type Boundary struct {
+	Layer    int
+	Datatype int
+	// Pts is the vertex ring without the closing point (GDSII repeats the
+	// first vertex on disk; the library strips/adds it).
+	Pts []geom.Point
+}
+
+// Structure is a GDSII structure (cell).
+type Structure struct {
+	Name       string
+	Boundaries []Boundary
+}
+
+// Library is a GDSII library.
+type Library struct {
+	Name     string
+	UserUnit float64 // user units per database unit (typically 1e-3)
+	MeterDBU float64 // meters per database unit (typically 1e-9)
+	Structs  []Structure
+}
+
+// Datatype conventions used by this repository when emitting layouts:
+// wires carry datatype 0, dummy fills datatype 1 (so fills can be
+// separated on read-back).
+const (
+	DatatypeWire = 0
+	DatatypeFill = 1
+)
+
+// Write emits the library as a GDSII stream.
+func (lib *Library) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	zero12 := make([]int16, 12) // deterministic zero timestamps
+	if err := writeInt16s(bw, RecHeader, 600); err != nil {
+		return err
+	}
+	if err := writeInt16s(bw, RecBgnLib, zero12...); err != nil {
+		return err
+	}
+	if err := writeString(bw, RecLibName, lib.Name); err != nil {
+		return err
+	}
+	uu, mdbu := lib.UserUnit, lib.MeterDBU
+	if uu == 0 {
+		uu = 1e-3
+	}
+	if mdbu == 0 {
+		mdbu = 1e-9
+	}
+	if err := writeReal8s(bw, RecUnits, uu, mdbu); err != nil {
+		return err
+	}
+	for _, st := range lib.Structs {
+		if err := writeInt16s(bw, RecBgnStr, zero12...); err != nil {
+			return err
+		}
+		if err := writeString(bw, RecStrName, st.Name); err != nil {
+			return err
+		}
+		for _, b := range st.Boundaries {
+			if err := writeBoundary(bw, b); err != nil {
+				return err
+			}
+		}
+		if err := writeRecord(bw, RecEndStr, DTNone, nil); err != nil {
+			return err
+		}
+	}
+	if err := writeRecord(bw, RecEndLib, DTNone, nil); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+func writeBoundary(w io.Writer, b Boundary) error {
+	if len(b.Pts) < 3 {
+		return fmt.Errorf("gdsii: boundary needs >= 3 points, got %d", len(b.Pts))
+	}
+	if err := writeRecord(w, RecBoundary, DTNone, nil); err != nil {
+		return err
+	}
+	if err := writeInt16s(w, RecLayer, int16(b.Layer)); err != nil {
+		return err
+	}
+	if err := writeInt16s(w, RecDatatype, int16(b.Datatype)); err != nil {
+		return err
+	}
+	xy := make([]int32, 0, 2*(len(b.Pts)+1))
+	for _, p := range b.Pts {
+		xy = append(xy, int32(p.X), int32(p.Y))
+	}
+	// Close the ring.
+	xy = append(xy, int32(b.Pts[0].X), int32(b.Pts[0].Y))
+	if err := writeInt32s(w, RecXY, xy...); err != nil {
+		return err
+	}
+	return writeRecord(w, RecEndEl, DTNone, nil)
+}
+
+// Read parses a GDSII stream into a Library. Unsupported elements (paths,
+// references, texts) are skipped.
+func Read(r io.Reader) (*Library, error) {
+	br := bufio.NewReader(r)
+	lib := &Library{}
+	var cur *Structure
+	var curB *Boundary
+	sawHeader := false
+	for {
+		rec, err := readRecord(br)
+		if err == io.EOF {
+			if sawHeader {
+				return nil, fmt.Errorf("gdsii: missing ENDLIB")
+			}
+			return nil, fmt.Errorf("gdsii: empty stream")
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch rec.typ {
+		case RecHeader:
+			sawHeader = true
+		case RecLibName:
+			lib.Name = rec.str()
+		case RecUnits:
+			vals := rec.real8s()
+			if len(vals) >= 2 {
+				lib.UserUnit, lib.MeterDBU = vals[0], vals[1]
+			}
+		case RecBgnStr:
+			lib.Structs = append(lib.Structs, Structure{})
+			cur = &lib.Structs[len(lib.Structs)-1]
+		case RecStrName:
+			if cur != nil {
+				cur.Name = rec.str()
+			}
+		case RecEndStr:
+			cur = nil
+		case RecBoundary:
+			curB = &Boundary{}
+		case RecLayer:
+			if curB != nil {
+				v, err := rec.int16s()
+				if err != nil || len(v) == 0 {
+					return nil, fmt.Errorf("gdsii: bad LAYER record: %v", err)
+				}
+				curB.Layer = int(v[0])
+			}
+		case RecDatatype:
+			if curB != nil {
+				v, err := rec.int16s()
+				if err != nil || len(v) == 0 {
+					return nil, fmt.Errorf("gdsii: bad DATATYPE record: %v", err)
+				}
+				curB.Datatype = int(v[0])
+			}
+		case RecXY:
+			if curB != nil {
+				v, err := rec.int32s()
+				if err != nil {
+					return nil, err
+				}
+				if len(v)%2 != 0 {
+					return nil, fmt.Errorf("gdsii: odd XY coordinate count")
+				}
+				for i := 0; i+1 < len(v); i += 2 {
+					curB.Pts = append(curB.Pts, geom.Point{X: int64(v[i]), Y: int64(v[i+1])})
+				}
+				// Strip the closing vertex.
+				if n := len(curB.Pts); n >= 2 && curB.Pts[0] == curB.Pts[n-1] {
+					curB.Pts = curB.Pts[:n-1]
+				}
+			}
+		case RecEndEl:
+			if curB != nil && cur != nil {
+				cur.Boundaries = append(cur.Boundaries, *curB)
+			}
+			curB = nil
+		case RecEndLib:
+			return lib, nil
+		default:
+			// Skip records we do not model.
+		}
+	}
+}
+
+// FromLayout converts a layout plus an optional fill solution into a
+// single-structure library. Wires get DatatypeWire, fills DatatypeFill.
+// GDSII layer numbers are 1-based.
+func FromLayout(lay *layout.Layout, sol *layout.Solution) *Library {
+	st := Structure{Name: "TOP"}
+	for li, layer := range lay.Layers {
+		for _, wRect := range layer.Wires {
+			st.Boundaries = append(st.Boundaries, rectBoundary(li+1, DatatypeWire, wRect))
+		}
+	}
+	if sol != nil {
+		for _, f := range sol.Fills {
+			st.Boundaries = append(st.Boundaries, rectBoundary(f.Layer+1, DatatypeFill, f.Rect))
+		}
+	}
+	return &Library{Name: lay.Name, Structs: []Structure{st}}
+}
+
+// FromSolution converts just the fill solution into a library — the
+// contest's output format, whose byte size the file-size score measures.
+func FromSolution(name string, sol *layout.Solution) *Library {
+	st := Structure{Name: "FILL"}
+	for _, f := range sol.Fills {
+		st.Boundaries = append(st.Boundaries, rectBoundary(f.Layer+1, DatatypeFill, f.Rect))
+	}
+	return &Library{Name: name, Structs: []Structure{st}}
+}
+
+func rectBoundary(layer, dt int, r geom.Rect) Boundary {
+	return Boundary{
+		Layer:    layer,
+		Datatype: dt,
+		Pts: []geom.Point{
+			{X: r.XL, Y: r.YL}, {X: r.XH, Y: r.YL},
+			{X: r.XH, Y: r.YH}, {X: r.XL, Y: r.YH},
+		},
+	}
+}
+
+// ExtractShapes converts the library's boundaries back into per-layer
+// rectangle sets, separated by datatype. Non-rectangular boundaries are
+// decomposed via polygon-to-rectangle conversion (Gourley–Green style).
+// Layer numbers are returned 0-based (GDS layer − 1).
+func (lib *Library) ExtractShapes() (wires, fills map[int][]geom.Rect, err error) {
+	wires = map[int][]geom.Rect{}
+	fills = map[int][]geom.Rect{}
+	for _, st := range lib.Structs {
+		for _, b := range st.Boundaries {
+			poly := geom.Polygon{Pts: b.Pts}
+			rects, err := poly.ToRects()
+			if err != nil {
+				return nil, nil, fmt.Errorf("gdsii: structure %q: %v", st.Name, err)
+			}
+			li := b.Layer - 1
+			if b.Datatype == DatatypeFill {
+				fills[li] = append(fills[li], rects...)
+			} else {
+				wires[li] = append(wires[li], rects...)
+			}
+		}
+	}
+	return wires, fills, nil
+}
+
+// EncodedSize returns the byte size the library would occupy on disk.
+func (lib *Library) EncodedSize() (int64, error) {
+	var cw countWriter
+	if err := lib.Write(&cw); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}

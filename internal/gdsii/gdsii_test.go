@@ -1,0 +1,234 @@
+package gdsii
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"dummyfill/internal/geom"
+	"dummyfill/internal/layout"
+)
+
+func TestReal8KnownValues(t *testing.T) {
+	// 1.0 in GDSII real: exponent 65 (16^1), mantissa 1/16 → 0x4110000000000000.
+	if got := encodeReal8(1.0); got != 0x4110000000000000 {
+		t.Fatalf("encode(1.0) = %#016x", got)
+	}
+	if got := decodeReal8(0x4110000000000000); got != 1.0 {
+		t.Fatalf("decode = %v, want 1.0", got)
+	}
+	if got := encodeReal8(0); got != 0 {
+		t.Fatalf("encode(0) = %#x", got)
+	}
+	if got := decodeReal8(0); got != 0 {
+		t.Fatalf("decode(0) = %v", got)
+	}
+}
+
+func TestReal8RoundTrip(t *testing.T) {
+	vals := []float64{1e-9, 1e-3, 0.5, 2, 1024, -3.25, 6.25e-10, 123456789}
+	for _, v := range vals {
+		got := decodeReal8(encodeReal8(v))
+		if math.Abs(got-v) > math.Abs(v)*1e-12 {
+			t.Errorf("roundtrip(%v) = %v", v, got)
+		}
+	}
+}
+
+func TestQuickReal8RoundTrip(t *testing.T) {
+	f := func(mant int32, scale uint8) bool {
+		v := float64(mant) * math.Pow(10, float64(int(scale%20)-10))
+		got := decodeReal8(encodeReal8(v))
+		if v == 0 {
+			return got == 0
+		}
+		return math.Abs(got-v) <= math.Abs(v)*1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sampleLibrary() *Library {
+	return &Library{
+		Name: "LIB",
+		Structs: []Structure{{
+			Name: "TOP",
+			Boundaries: []Boundary{
+				{Layer: 1, Datatype: 0, Pts: []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 5}, {X: 0, Y: 5}}},
+				{Layer: 2, Datatype: 1, Pts: []geom.Point{{X: 3, Y: 3}, {X: 8, Y: 3}, {X: 8, Y: 9}, {X: 3, Y: 9}}},
+			},
+		}},
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	lib := sampleLibrary()
+	var buf bytes.Buffer
+	if err := lib.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "LIB" {
+		t.Fatalf("lib name %q", got.Name)
+	}
+	if math.Abs(got.UserUnit-1e-3) > 1e-18 || math.Abs(got.MeterDBU-1e-9) > 1e-24 {
+		t.Fatalf("units %v %v", got.UserUnit, got.MeterDBU)
+	}
+	if len(got.Structs) != 1 || got.Structs[0].Name != "TOP" {
+		t.Fatalf("structs %+v", got.Structs)
+	}
+	bs := got.Structs[0].Boundaries
+	if len(bs) != 2 {
+		t.Fatalf("boundaries %d", len(bs))
+	}
+	if bs[0].Layer != 1 || bs[1].Layer != 2 || bs[1].Datatype != 1 {
+		t.Fatalf("boundary metadata wrong: %+v", bs)
+	}
+	if len(bs[0].Pts) != 4 {
+		t.Fatalf("closing point not stripped: %v", bs[0].Pts)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream must error")
+	}
+	// Stream without ENDLIB.
+	var buf bytes.Buffer
+	if err := writeInt16s(&buf, RecHeader, 600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(&buf); err == nil {
+		t.Fatal("missing ENDLIB must error")
+	}
+	// Truncated record.
+	if _, err := Read(bytes.NewReader([]byte{0x00, 0x08, 0x00, 0x02, 0x01})); err == nil {
+		t.Fatal("truncated record must error")
+	}
+}
+
+func TestBoundaryTooFewPoints(t *testing.T) {
+	lib := &Library{Name: "X", Structs: []Structure{{
+		Name:       "S",
+		Boundaries: []Boundary{{Layer: 1, Pts: []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}}},
+	}}}
+	if err := lib.Write(&bytes.Buffer{}); err == nil {
+		t.Fatal("degenerate boundary must error")
+	}
+}
+
+func fillTestLayout() *layout.Layout {
+	return &layout.Layout{
+		Name:   "fl",
+		Die:    geom.R(0, 0, 1000, 1000),
+		Window: 500,
+		Rules:  layout.Rules{MinWidth: 2, MinSpace: 2, MinArea: 4},
+		Layers: []*layout.Layer{
+			{Wires: []geom.Rect{geom.R(0, 0, 100, 50), geom.R(200, 200, 300, 220)}},
+			{Wires: []geom.Rect{geom.R(500, 500, 800, 520)}},
+		},
+	}
+}
+
+func TestFromLayoutAndExtract(t *testing.T) {
+	lay := fillTestLayout()
+	sol := &layout.Solution{Fills: []layout.Fill{
+		{Layer: 0, Rect: geom.R(400, 400, 450, 450)},
+		{Layer: 1, Rect: geom.R(100, 100, 150, 160)},
+	}}
+	lib := FromLayout(lay, sol)
+	var buf bytes.Buffer
+	if err := lib.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wires, fills, err := back.ExtractShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wires[0]) != 2 || len(wires[1]) != 1 {
+		t.Fatalf("wires extracted wrong: %v", wires)
+	}
+	if len(fills[0]) != 1 || len(fills[1]) != 1 {
+		t.Fatalf("fills extracted wrong: %v", fills)
+	}
+	if fills[0][0] != geom.R(400, 400, 450, 450) {
+		t.Fatalf("fill rect mismatch: %v", fills[0][0])
+	}
+}
+
+func TestEncodedSizeMatchesWrite(t *testing.T) {
+	lib := sampleLibrary()
+	var buf bytes.Buffer
+	if err := lib.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	n, err := lib.EncodedSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("EncodedSize = %d, written %d", n, buf.Len())
+	}
+}
+
+func TestFileSizeGrowsWithFills(t *testing.T) {
+	lay := fillTestLayout()
+	few := &layout.Solution{Fills: []layout.Fill{{Layer: 0, Rect: geom.R(0, 100, 10, 110)}}}
+	rng := rand.New(rand.NewSource(1))
+	var many layout.Solution
+	for i := 0; i < 500; i++ {
+		x := rng.Int63n(900)
+		y := rng.Int63n(900)
+		many.Fills = append(many.Fills, layout.Fill{Layer: 0, Rect: geom.R(x, y, x+5, y+5)})
+	}
+	sFew, err := FromLayout(lay, few).EncodedSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sMany, err := FromLayout(lay, &many).EncodedSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sMany <= sFew {
+		t.Fatalf("more fills must produce a bigger file: %d vs %d", sMany, sFew)
+	}
+	// Each rectangle boundary costs a fixed 64 bytes (BOUNDARY 4 + LAYER 6
+	// + DATATYPE 6 + XY 4+5·8 closed ring + ENDEL 4): check the delta.
+	perFill := (sMany - sFew) / 499
+	if perFill != 64 {
+		t.Fatalf("per-fill encoding cost = %d bytes, want 64", perFill)
+	}
+}
+
+func TestNonRectangularBoundaryExtraction(t *testing.T) {
+	lib := &Library{Name: "L", Structs: []Structure{{
+		Name: "S",
+		Boundaries: []Boundary{{
+			Layer: 1,
+			Pts: []geom.Point{
+				{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 5}, {X: 5, Y: 5}, {X: 5, Y: 10}, {X: 0, Y: 10},
+			},
+		}},
+	}}}
+	wires, _, err := lib.ExtractShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var area int64
+	for _, r := range wires[0] {
+		area += r.Area()
+	}
+	if area != 75 {
+		t.Fatalf("L-shape decomposed area = %d, want 75", area)
+	}
+}

@@ -1,0 +1,151 @@
+// Package gdsii reads and writes the GDSII stream format, the IO format of
+// the ICCAD 2014 contest (the file-size score component is measured on the
+// solution GDSII bytes). Only the subset needed for fill flows is
+// implemented: libraries, structures and BOUNDARY elements.
+package gdsii
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Record types (GDSII stream spec).
+const (
+	RecHeader   = 0x00
+	RecBgnLib   = 0x01
+	RecLibName  = 0x02
+	RecUnits    = 0x03
+	RecEndLib   = 0x04
+	RecBgnStr   = 0x05
+	RecStrName  = 0x06
+	RecEndStr   = 0x07
+	RecBoundary = 0x08
+	RecPath     = 0x09
+	RecSRef     = 0x0A
+	RecLayer    = 0x0D
+	RecDatatype = 0x0E
+	RecWidth    = 0x0F
+	RecXY       = 0x10
+	RecEndEl    = 0x11
+	RecSName    = 0x12
+)
+
+// Data types within records.
+const (
+	DTNone   = 0x00
+	DTBitArr = 0x01
+	DTInt16  = 0x02
+	DTInt32  = 0x03
+	DTReal4  = 0x04
+	DTReal8  = 0x05
+	DTASCII  = 0x06
+)
+
+// record is one GDSII stream record.
+type record struct {
+	typ  byte
+	dt   byte
+	data []byte
+}
+
+// maxRecordPayload is the largest payload a single record can carry
+// (record length is a uint16 that includes the 4 header bytes).
+const maxRecordPayload = 0xFFFF - 4
+
+// writeRecord emits one record.
+func writeRecord(w io.Writer, typ, dt byte, data []byte) error {
+	if len(data) > maxRecordPayload {
+		return fmt.Errorf("gdsii: record 0x%02x payload %d exceeds %d", typ, len(data), maxRecordPayload)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint16(hdr[0:2], uint16(len(data)+4))
+	hdr[2] = typ
+	hdr[3] = dt
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(data) > 0 {
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeInt16s(w io.Writer, typ byte, vals ...int16) error {
+	data := make([]byte, 2*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint16(data[2*i:], uint16(v))
+	}
+	return writeRecord(w, typ, DTInt16, data)
+}
+
+func writeInt32s(w io.Writer, typ byte, vals ...int32) error {
+	data := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.BigEndian.PutUint32(data[4*i:], uint32(v))
+	}
+	return writeRecord(w, typ, DTInt32, data)
+}
+
+func writeString(w io.Writer, typ byte, s string) error {
+	data := []byte(s)
+	if len(data)%2 == 1 {
+		data = append(data, 0) // GDSII strings are padded to even length
+	}
+	return writeRecord(w, typ, DTASCII, data)
+}
+
+// readRecord reads the next record from r. Returns io.EOF cleanly at end.
+func readRecord(r io.Reader) (*record, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("gdsii: truncated record header")
+		}
+		return nil, err
+	}
+	n := int(binary.BigEndian.Uint16(hdr[0:2]))
+	if n < 4 {
+		return nil, fmt.Errorf("gdsii: record length %d < 4", n)
+	}
+	rec := &record{typ: hdr[2], dt: hdr[3]}
+	if n > 4 {
+		rec.data = make([]byte, n-4)
+		if _, err := io.ReadFull(r, rec.data); err != nil {
+			return nil, fmt.Errorf("gdsii: truncated record 0x%02x: %v", rec.typ, err)
+		}
+	}
+	return rec, nil
+}
+
+func (rec *record) int16s() ([]int16, error) {
+	if len(rec.data)%2 != 0 {
+		return nil, fmt.Errorf("gdsii: record 0x%02x has odd int16 payload", rec.typ)
+	}
+	out := make([]int16, len(rec.data)/2)
+	for i := range out {
+		out[i] = int16(binary.BigEndian.Uint16(rec.data[2*i:]))
+	}
+	return out, nil
+}
+
+func (rec *record) int32s() ([]int32, error) {
+	if len(rec.data)%4 != 0 {
+		return nil, fmt.Errorf("gdsii: record 0x%02x has non-multiple-of-4 int32 payload", rec.typ)
+	}
+	out := make([]int32, len(rec.data)/4)
+	for i := range out {
+		out[i] = int32(binary.BigEndian.Uint32(rec.data[4*i:]))
+	}
+	return out, nil
+}
+
+func (rec *record) str() string {
+	d := rec.data
+	for len(d) > 0 && d[len(d)-1] == 0 {
+		d = d[:len(d)-1]
+	}
+	return string(d)
+}

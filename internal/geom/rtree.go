@@ -1,0 +1,160 @@
+package geom
+
+import "sort"
+
+// RTree is a static bulk-loaded R-tree (STR packing) over rectangles — an
+// alternative to the uniform-grid Index for workloads with highly
+// non-uniform shape distributions (clustered wiring makes grid bins
+// lopsided). Build once with NewRTree, then query. It implements the same
+// query surface as Index so callers can choose per workload.
+type RTree struct {
+	nodes []rtNode
+	rects []Rect
+	root  int
+}
+
+type rtNode struct {
+	bbox     Rect
+	children []int32 // node indexes, or rect ids at leaves
+	leaf     bool
+}
+
+// rtFanout is the maximum children per node (classic STR page size).
+const rtFanout = 8
+
+// NewRTree bulk-loads an R-tree from rects using Sort-Tile-Recursive
+// packing. The input slice is copied.
+func NewRTree(rects []Rect) *RTree {
+	t := &RTree{rects: append([]Rect(nil), rects...)}
+	if len(rects) == 0 {
+		t.root = -1
+		return t
+	}
+	ids := make([]int32, len(rects))
+	for i := range ids {
+		ids[i] = int32(i)
+	}
+	// STR: sort by center x, slice into vertical strips, sort each strip
+	// by center y, pack runs of rtFanout into leaves.
+	sort.Slice(ids, func(a, b int) bool {
+		return t.rects[ids[a]].Center().X < t.rects[ids[b]].Center().X
+	})
+	nLeaves := (len(ids) + rtFanout - 1) / rtFanout
+	stripCount := isqrt(nLeaves)
+	if stripCount < 1 {
+		stripCount = 1
+	}
+	perStrip := (len(ids) + stripCount - 1) / stripCount
+	var leaves []int
+	for s := 0; s < len(ids); s += perStrip {
+		e := s + perStrip
+		if e > len(ids) {
+			e = len(ids)
+		}
+		strip := ids[s:e]
+		sort.Slice(strip, func(a, b int) bool {
+			return t.rects[strip[a]].Center().Y < t.rects[strip[b]].Center().Y
+		})
+		for o := 0; o < len(strip); o += rtFanout {
+			oe := o + rtFanout
+			if oe > len(strip) {
+				oe = len(strip)
+			}
+			var bb Rect
+			kids := make([]int32, oe-o)
+			copy(kids, strip[o:oe])
+			for _, id := range kids {
+				bb = bb.Union(t.rects[id])
+			}
+			t.nodes = append(t.nodes, rtNode{bbox: bb, children: kids, leaf: true})
+			leaves = append(leaves, len(t.nodes)-1)
+		}
+	}
+	// Pack upper levels until a single root remains.
+	level := leaves
+	for len(level) > 1 {
+		// Sort level by bbox center x then tile — simple one-dimensional
+		// packing is adequate above the leaf level.
+		sort.Slice(level, func(a, b int) bool {
+			ca := t.nodes[level[a]].bbox.Center()
+			cb := t.nodes[level[b]].bbox.Center()
+			if ca.X != cb.X {
+				return ca.X < cb.X
+			}
+			return ca.Y < cb.Y
+		})
+		var next []int
+		for o := 0; o < len(level); o += rtFanout {
+			oe := o + rtFanout
+			if oe > len(level) {
+				oe = len(level)
+			}
+			var bb Rect
+			kids := make([]int32, oe-o)
+			for i, n := range level[o:oe] {
+				kids[i] = int32(n)
+				bb = bb.Union(t.nodes[n].bbox)
+			}
+			t.nodes = append(t.nodes, rtNode{bbox: bb, children: kids})
+			next = append(next, len(t.nodes)-1)
+		}
+		level = next
+	}
+	t.root = level[0]
+	return t
+}
+
+func isqrt(n int) int {
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// Len returns the number of indexed rectangles.
+func (t *RTree) Len() int { return len(t.rects) }
+
+// Query calls fn for every rectangle overlapping q; returning false stops
+// the traversal.
+func (t *RTree) Query(q Rect, fn func(id int, r Rect) bool) {
+	if t.root < 0 || q.Empty() {
+		return
+	}
+	t.query(t.root, q, fn)
+}
+
+func (t *RTree) query(n int, q Rect, fn func(id int, r Rect) bool) bool {
+	node := &t.nodes[n]
+	if !node.bbox.Overlaps(q) {
+		return true
+	}
+	if node.leaf {
+		for _, id := range node.children {
+			r := t.rects[id]
+			if r.Overlaps(q) {
+				if !fn(int(id), r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	for _, c := range node.children {
+		if !t.query(int(c), q, fn) {
+			return false
+		}
+	}
+	return true
+}
+
+// OverlapArea returns the area of q covered by indexed rectangles,
+// counting overlaps once.
+func (t *RTree) OverlapArea(q Rect) int64 {
+	var pieces []Rect
+	t.Query(q, func(_ int, r Rect) bool {
+		pieces = append(pieces, r.Intersect(q))
+		return true
+	})
+	return UnionArea(pieces)
+}

@@ -1,0 +1,115 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestRTreeEmpty(t *testing.T) {
+	tr := NewRTree(nil)
+	if tr.Len() != 0 {
+		t.Fatal("empty tree length")
+	}
+	called := false
+	tr.Query(R(0, 0, 10, 10), func(int, Rect) bool { called = true; return true })
+	if called {
+		t.Fatal("empty tree must not call fn")
+	}
+}
+
+func TestRTreeSingle(t *testing.T) {
+	tr := NewRTree([]Rect{R(5, 5, 15, 15)})
+	hits := 0
+	tr.Query(R(0, 0, 10, 10), func(id int, r Rect) bool {
+		hits++
+		if id != 0 || r != R(5, 5, 15, 15) {
+			t.Fatalf("wrong hit %d %v", id, r)
+		}
+		return true
+	})
+	if hits != 1 {
+		t.Fatalf("hits = %d", hits)
+	}
+	tr.Query(R(20, 20, 30, 30), func(int, Rect) bool {
+		t.Fatal("disjoint query must not hit")
+		return true
+	})
+}
+
+// TestRTreeMatchesGridIndex cross-validates R-tree queries against the
+// grid index on random workloads.
+func TestRTreeMatchesGridIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	for it := 0; it < 40; it++ {
+		n := 1 + rng.Intn(300)
+		rects := randRects(rng, n, 500)
+		tr := NewRTree(rects)
+		ix := NewIndex(R(0, 0, 700, 700), 50)
+		for _, r := range rects {
+			ix.Insert(r)
+		}
+		for q := 0; q < 20; q++ {
+			query := randRects(rng, 1, 500)[0]
+			var a, b []int
+			tr.Query(query, func(id int, _ Rect) bool { a = append(a, id); return true })
+			ix.Query(query, func(id int, _ Rect) bool { b = append(b, id); return true })
+			sort.Ints(a)
+			sort.Ints(b)
+			if len(a) != len(b) {
+				t.Fatalf("it %d: hit counts differ: rtree %d grid %d", it, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("it %d: hit sets differ", it)
+				}
+			}
+			if oa, ob := tr.OverlapArea(query), ix.OverlapArea(query); oa != ob {
+				t.Fatalf("it %d: overlap areas differ: %d vs %d", it, oa, ob)
+			}
+		}
+	}
+}
+
+func TestRTreeEarlyStop(t *testing.T) {
+	rects := make([]Rect, 50)
+	for i := range rects {
+		rects[i] = R(int64(i), 0, int64(i)+100, 10) // all overlap x∈[49,50)
+	}
+	tr := NewRTree(rects)
+	count := 0
+	tr.Query(R(49, 0, 50, 10), func(int, Rect) bool {
+		count++
+		return count < 3 // stop after 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop ignored: %d calls", count)
+	}
+}
+
+func BenchmarkRTreeQuery10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	rects := randRects(rng, 10000, 100000)
+	tr := NewRTree(rects)
+	queries := randRects(rng, 64, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		tr.Query(q, func(int, Rect) bool { return true })
+	}
+}
+
+func BenchmarkGridIndexQuery10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	rects := randRects(rng, 10000, 100000)
+	ix := NewIndex(R(0, 0, 125000, 125000), 0)
+	for _, r := range rects {
+		ix.Insert(r)
+	}
+	queries := randRects(rng, 64, 100000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		ix.Query(q, func(int, Rect) bool { return true })
+	}
+}

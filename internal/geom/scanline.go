@@ -1,0 +1,422 @@
+package geom
+
+import "sort"
+
+// This file implements scanline boolean operations over sets of (possibly
+// overlapping) rectangles: exact union area, union decomposition into
+// disjoint maximal horizontal slabs, difference (free-space extraction),
+// and pairwise intersection of two rectangle sets.
+
+// UnionArea returns the exact area covered by the union of rects,
+// counting overlapping regions once. It runs a y-sweep with an x-interval
+// coverage structure in O(n log n + n·k) where k is the active set size.
+func UnionArea(rects []Rect) int64 {
+	type event struct {
+		y      int64
+		xl, xh int64
+		delta  int // +1 open, -1 close
+	}
+	evs := make([]event, 0, 2*len(rects))
+	for _, r := range rects {
+		if r.Empty() {
+			continue
+		}
+		evs = append(evs, event{r.YL, r.XL, r.XH, +1})
+		evs = append(evs, event{r.YH, r.XL, r.XH, -1})
+	}
+	if len(evs) == 0 {
+		return 0
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].y < evs[j].y })
+
+	var cov coverage
+	var area int64
+	prevY := evs[0].y
+	for i := 0; i < len(evs); {
+		y := evs[i].y
+		area += cov.total() * (y - prevY)
+		for i < len(evs) && evs[i].y == y {
+			cov.update(evs[i].xl, evs[i].xh, evs[i].delta)
+			i++
+		}
+		prevY = y
+	}
+	return area
+}
+
+// coverage maintains multiset interval coverage on the x axis using a
+// boundary-count representation. It is rebuilt lazily: points holds sorted
+// unique x boundaries and counts[i] is the coverage of [points[i],
+// points[i+1]). For the workloads here (per-window shape counts in the
+// hundreds) the simple representation is faster than a segment tree.
+type coverage struct {
+	ivals []covIval
+}
+
+type covIval struct {
+	xl, xh int64
+	n      int
+}
+
+func (c *coverage) update(xl, xh int64, delta int) {
+	if xl >= xh {
+		return
+	}
+	// Split existing intervals at xl and xh, then adjust counts.
+	c.split(xl)
+	c.split(xh)
+	out := c.ivals[:0]
+	inserted := false
+	for _, iv := range c.ivals {
+		if iv.xl >= xl && iv.xh <= xh {
+			iv.n += delta
+			inserted = true
+		}
+		if iv.n != 0 || true { // keep zero intervals; merged below
+			out = append(out, iv)
+		}
+	}
+	c.ivals = out
+	if delta > 0 {
+		// Cover any gaps within [xl,xh) not represented yet.
+		c.fillGaps(xl, xh, delta)
+		inserted = true
+	}
+	_ = inserted
+	c.normalize()
+}
+
+// split ensures x is a boundary of the interval list.
+func (c *coverage) split(x int64) {
+	for i, iv := range c.ivals {
+		if iv.xl < x && x < iv.xh {
+			rest := covIval{x, iv.xh, iv.n}
+			c.ivals[i].xh = x
+			c.ivals = append(c.ivals, covIval{})
+			copy(c.ivals[i+2:], c.ivals[i+1:])
+			c.ivals[i+1] = rest
+			return
+		}
+	}
+}
+
+// fillGaps inserts intervals with count delta for any sub-ranges of
+// [xl,xh) not currently present.
+func (c *coverage) fillGaps(xl, xh int64, delta int) {
+	var gaps []covIval
+	cur := xl
+	for _, iv := range c.ivals {
+		if iv.xh <= xl || iv.xl >= xh {
+			continue
+		}
+		if iv.xl > cur {
+			gaps = append(gaps, covIval{cur, iv.xl, delta})
+		}
+		if iv.xh > cur {
+			cur = iv.xh
+		}
+	}
+	if cur < xh {
+		gaps = append(gaps, covIval{cur, xh, delta})
+	}
+	c.ivals = append(c.ivals, gaps...)
+}
+
+// normalize sorts intervals, drops zero-count zero-width entries and merges
+// adjacent intervals with equal counts.
+func (c *coverage) normalize() {
+	sort.Slice(c.ivals, func(i, j int) bool { return c.ivals[i].xl < c.ivals[j].xl })
+	out := c.ivals[:0]
+	for _, iv := range c.ivals {
+		if iv.xl >= iv.xh || iv.n == 0 {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].xh == iv.xl && out[n-1].n == iv.n {
+			out[n-1].xh = iv.xh
+			continue
+		}
+		out = append(out, iv)
+	}
+	c.ivals = out
+}
+
+// total returns the covered length (count > 0).
+func (c *coverage) total() int64 {
+	var t int64
+	for _, iv := range c.ivals {
+		if iv.n > 0 {
+			t += iv.xh - iv.xl
+		}
+	}
+	return t
+}
+
+// covered returns the sorted disjoint x-intervals with positive coverage.
+func (c *coverage) covered() []covIval {
+	out := make([]covIval, 0, len(c.ivals))
+	for _, iv := range c.ivals {
+		if iv.n > 0 {
+			if n := len(out); n > 0 && out[n-1].xh == iv.xl {
+				out[n-1].xh = iv.xh
+				continue
+			}
+			out = append(out, covIval{iv.xl, iv.xh, 1})
+		}
+	}
+	return out
+}
+
+// UnionSlabs decomposes the union of rects into disjoint rectangles
+// (maximal horizontal slabs). The output rectangles are non-overlapping
+// and their total area equals UnionArea(rects).
+func UnionSlabs(rects []Rect) []Rect {
+	type event struct {
+		y      int64
+		xl, xh int64
+		delta  int
+	}
+	evs := make([]event, 0, 2*len(rects))
+	for _, r := range rects {
+		if r.Empty() {
+			continue
+		}
+		evs = append(evs, event{r.YL, r.XL, r.XH, +1})
+		evs = append(evs, event{r.YH, r.XL, r.XH, -1})
+	}
+	if len(evs) == 0 {
+		return nil
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].y < evs[j].y })
+
+	var cov coverage
+	var out []Rect
+	// open[i] tracks a slab currently being extended vertically.
+	type openSlab struct {
+		xl, xh, yl int64
+	}
+	var open []openSlab
+	prevY := evs[0].y
+	for i := 0; i < len(evs); {
+		y := evs[i].y
+		if y > prevY {
+			// nothing: slabs extend implicitly
+		}
+		before := cov.covered()
+		for i < len(evs) && evs[i].y == y {
+			cov.update(evs[i].xl, evs[i].xh, evs[i].delta)
+			i++
+		}
+		after := cov.covered()
+		if !sameIvals(before, after) {
+			// Close all open slabs at y, open new ones from 'after'.
+			for _, s := range open {
+				if y > s.yl {
+					out = append(out, Rect{s.xl, s.yl, s.xh, y})
+				}
+			}
+			open = open[:0]
+			for _, iv := range after {
+				open = append(open, openSlab{iv.xl, iv.xh, y})
+			}
+		}
+		prevY = y
+	}
+	for _, s := range open {
+		// Should be empty at the end (all rects closed); guard anyway.
+		out = append(out, Rect{s.xl, s.yl, s.xh, prevY})
+	}
+	res := out[:0]
+	for _, r := range out {
+		if !r.Empty() {
+			res = append(res, r)
+		}
+	}
+	return res
+}
+
+func sameIvals(a, b []covIval) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].xl != b[i].xl || a[i].xh != b[i].xh {
+			return false
+		}
+	}
+	return true
+}
+
+// Difference returns window minus the union of holes, decomposed into
+// disjoint rectangles (horizontal slabs). This is the free-space
+// extraction primitive used to derive feasible fill regions.
+func Difference(window Rect, holes []Rect) []Rect {
+	if window.Empty() {
+		return nil
+	}
+	clipped := make([]Rect, 0, len(holes))
+	for _, h := range holes {
+		c := h.Intersect(window)
+		if !c.Empty() {
+			clipped = append(clipped, c)
+		}
+	}
+	if len(clipped) == 0 {
+		return []Rect{window}
+	}
+	// Sweep rows between consecutive y boundaries; in each row compute the
+	// complement of covered x-intervals, merging vertically-contiguous
+	// identical rows into taller slabs.
+	ys := make([]int64, 0, 2*len(clipped)+2)
+	ys = append(ys, window.YL, window.YH)
+	for _, h := range clipped {
+		ys = append(ys, h.YL, h.YH)
+	}
+	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+	ys = dedup64(ys)
+
+	type openSlab struct {
+		xl, xh, yl int64
+	}
+	var open []openSlab
+	var out []Rect
+	var prevFree []covIval
+	flush := func(y int64, free []covIval) {
+		if sameIvals(prevFree, free) {
+			return
+		}
+		for _, s := range open {
+			if y > s.yl {
+				out = append(out, Rect{s.xl, s.yl, s.xh, y})
+			}
+		}
+		open = open[:0]
+		for _, iv := range free {
+			open = append(open, openSlab{iv.xl, iv.xh, y})
+		}
+		prevFree = append(prevFree[:0], free...)
+	}
+	for i := 0; i+1 < len(ys); i++ {
+		yl, yh := ys[i], ys[i+1]
+		if yh <= window.YL || yl >= window.YH {
+			continue
+		}
+		// x-intervals covered by holes in this row.
+		var xs []covIval
+		for _, h := range clipped {
+			if h.YL <= yl && h.YH >= yh {
+				xs = append(xs, covIval{h.XL, h.XH, 1})
+			}
+		}
+		sort.Slice(xs, func(a, b int) bool { return xs[a].xl < xs[b].xl })
+		// Complement within window x-range.
+		var free []covIval
+		cur := window.XL
+		for _, iv := range xs {
+			if iv.xl > cur {
+				free = append(free, covIval{cur, iv.xl, 1})
+			}
+			if iv.xh > cur {
+				cur = iv.xh
+			}
+		}
+		if cur < window.XH {
+			free = append(free, covIval{cur, window.XH, 1})
+		}
+		flush(yl, free)
+	}
+	flush(window.YH, nil)
+	return out
+}
+
+func dedup64(xs []int64) []int64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Transpose swaps the axes of r.
+func (r Rect) Transpose() Rect { return Rect{r.YL, r.XL, r.YH, r.XH} }
+
+// TransposeRects swaps the axes of every rect (freshly allocated).
+func TransposeRects(rs []Rect) []Rect {
+	out := make([]Rect, len(rs))
+	for i, r := range rs {
+		out[i] = r.Transpose()
+	}
+	return out
+}
+
+// DifferenceVert is Difference with the output decomposed into vertical
+// (maximal-height) slabs instead of horizontal ones. For free-space
+// extraction around vertical wires this yields far fewer, fatter pieces.
+func DifferenceVert(window Rect, holes []Rect) []Rect {
+	return TransposeRects(Difference(window.Transpose(), TransposeRects(holes)))
+}
+
+// DifferenceOriented picks the slab orientation: vertical=true yields
+// vertical slabs.
+func DifferenceOriented(window Rect, holes []Rect, vertical bool) []Rect {
+	if vertical {
+		return DifferenceVert(window, holes)
+	}
+	return Difference(window, holes)
+}
+
+// IntersectSets returns the disjoint decomposition of the intersection of
+// the unions of a and b: region covered by at least one rect of a AND at
+// least one rect of b.
+func IntersectSets(a, b []Rect) []Rect {
+	// Compute pairwise intersections then take their union decomposition
+	// to remove double counting. Pairwise cost is acceptable at window
+	// granularity; a sweep would be used for full-chip scale.
+	var pieces []Rect
+	for _, ra := range a {
+		for _, rb := range b {
+			c := ra.Intersect(rb)
+			if !c.Empty() {
+				pieces = append(pieces, c)
+			}
+		}
+	}
+	if len(pieces) <= 1 {
+		return pieces
+	}
+	return UnionSlabs(pieces)
+}
+
+// OverlapAreaSets returns the area of the intersection of the unions of a
+// and b.
+func OverlapAreaSets(a, b []Rect) int64 {
+	var pieces []Rect
+	for _, ra := range a {
+		for _, rb := range b {
+			c := ra.Intersect(rb)
+			if !c.Empty() {
+				pieces = append(pieces, c)
+			}
+		}
+	}
+	return UnionArea(pieces)
+}
+
+// BoundingBox returns the bounding box of rects (empty Rect if none).
+func BoundingBox(rects []Rect) Rect {
+	var bb Rect
+	for _, r := range rects {
+		bb = bb.Union(r)
+	}
+	return bb
+}
+
+// TotalArea sums rect areas without overlap removal.
+func TotalArea(rects []Rect) int64 {
+	var t int64
+	for _, r := range rects {
+		t += r.Area()
+	}
+	return t
+}

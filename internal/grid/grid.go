@@ -1,0 +1,174 @@
+// Package grid implements the fixed-dissection window grid the paper's
+// density analysis is based on: the layout is divided into N×M square
+// windows (Fig. 2(b)) and per-window densities drive planning and scoring.
+package grid
+
+import (
+	"fmt"
+
+	"dummyfill/internal/geom"
+)
+
+// Grid is a fixed dissection of a die area into square windows of size W.
+// Windows at the top/right edge may be partial if the die is not an exact
+// multiple of W; their density is normalized by their true area.
+type Grid struct {
+	Die geom.Rect
+	W   int64
+	NX  int // columns
+	NY  int // rows
+}
+
+// New builds a grid over die with window size w.
+func New(die geom.Rect, w int64) (*Grid, error) {
+	if die.Empty() {
+		return nil, fmt.Errorf("grid: empty die %v", die)
+	}
+	if w <= 0 {
+		return nil, fmt.Errorf("grid: window size must be positive, got %d", w)
+	}
+	nx := int((die.W() + w - 1) / w)
+	ny := int((die.H() + w - 1) / w)
+	return &Grid{Die: die, W: w, NX: nx, NY: ny}, nil
+}
+
+// NumWindows returns NX*NY.
+func (g *Grid) NumWindows() int { return g.NX * g.NY }
+
+// Window returns the rect of window (i,j) where i is the column and j the
+// row, clipped to the die.
+func (g *Grid) Window(i, j int) geom.Rect {
+	r := geom.Rect{
+		XL: g.Die.XL + int64(i)*g.W,
+		YL: g.Die.YL + int64(j)*g.W,
+		XH: g.Die.XL + int64(i+1)*g.W,
+		YH: g.Die.YL + int64(j+1)*g.W,
+	}
+	return r.Intersect(g.Die)
+}
+
+// Locate returns the window indices containing point p (clamped to the
+// grid).
+func (g *Grid) Locate(p geom.Point) (i, j int) {
+	i = int((p.X - g.Die.XL) / g.W)
+	j = int((p.Y - g.Die.YL) / g.W)
+	if i < 0 {
+		i = 0
+	}
+	if i >= g.NX {
+		i = g.NX - 1
+	}
+	if j < 0 {
+		j = 0
+	}
+	if j >= g.NY {
+		j = g.NY - 1
+	}
+	return
+}
+
+// RangeOverlapping calls fn(i, j, clip) for every window overlapping r,
+// where clip is the part of r inside window (i,j).
+func (g *Grid) RangeOverlapping(r geom.Rect, fn func(i, j int, clip geom.Rect)) {
+	r = r.Intersect(g.Die)
+	if r.Empty() {
+		return
+	}
+	i0 := int((r.XL - g.Die.XL) / g.W)
+	j0 := int((r.YL - g.Die.YL) / g.W)
+	i1 := int((r.XH - 1 - g.Die.XL) / g.W)
+	j1 := int((r.YH - 1 - g.Die.YL) / g.W)
+	for j := j0; j <= j1; j++ {
+		for i := i0; i <= i1; i++ {
+			w := g.Window(i, j)
+			c := r.Intersect(w)
+			if !c.Empty() {
+				fn(i, j, c)
+			}
+		}
+	}
+}
+
+// Map is a per-window scalar field over a grid (densities, areas, bounds).
+type Map struct {
+	G *Grid
+	V []float64 // row-major: V[j*NX+i]
+}
+
+// NewMap allocates a zero map over g.
+func NewMap(g *Grid) *Map { return &Map{G: g, V: make([]float64, g.NumWindows())} }
+
+// At returns the value at window (i,j).
+func (m *Map) At(i, j int) float64 { return m.V[j*m.G.NX+i] }
+
+// Set stores v at window (i,j).
+func (m *Map) Set(i, j int, v float64) { m.V[j*m.G.NX+i] = v }
+
+// Add accumulates v at window (i,j).
+func (m *Map) Add(i, j int, v float64) { m.V[j*m.G.NX+i] += v }
+
+// Clone returns a deep copy.
+func (m *Map) Clone() *Map {
+	out := NewMap(m.G)
+	copy(out.V, m.V)
+	return out
+}
+
+// Mean returns the average value.
+func (m *Map) Mean() float64 {
+	if len(m.V) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range m.V {
+		s += v
+	}
+	return s / float64(len(m.V))
+}
+
+// MinMax returns the extreme values.
+func (m *Map) MinMax() (lo, hi float64) {
+	if len(m.V) == 0 {
+		return 0, 0
+	}
+	lo, hi = m.V[0], m.V[0]
+	for _, v := range m.V[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return
+}
+
+// AreaMap accumulates, for each window, the area of the given rectangles
+// clipped to that window. Overlaps among rects are counted multiple times;
+// pass disjoint rect sets (wires after free-space extraction, fills after
+// DRC) for exact densities.
+func AreaMap(g *Grid, rects []geom.Rect) *Map {
+	m := NewMap(g)
+	for _, r := range rects {
+		g.RangeOverlapping(r, func(i, j int, clip geom.Rect) {
+			m.Add(i, j, float64(clip.Area()))
+		})
+	}
+	return m
+}
+
+// DensityMap converts an area map into a density map by dividing by each
+// window's true (clipped) area.
+func DensityMap(area *Map) *Map {
+	g := area.G
+	out := NewMap(g)
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			wa := float64(g.Window(i, j).Area())
+			if wa > 0 {
+				out.Set(i, j, area.At(i, j)/wa)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+// Package ingest builds fill-flow inputs from external data: it converts
+// a GDSII library into a layout.Layout, performing the front half of the
+// paper's flow — polygon-to-rectangle conversion ([16]) and feasible
+// fill-region extraction (free space minus the wire spacing keepout),
+// window by window.
+package ingest
+
+import (
+	"fmt"
+	"sort"
+
+	"dummyfill/internal/gdsii"
+	"dummyfill/internal/geom"
+	"dummyfill/internal/grid"
+	"dummyfill/internal/layout"
+)
+
+// Options control layout construction.
+type Options struct {
+	// Window is the density-analysis window size. Zero picks 1/16 of the
+	// die's larger dimension.
+	Window int64
+	// Rules is the fill rule set (required).
+	Rules layout.Rules
+	// Die overrides the die area; zero value uses the bounding box of all
+	// shapes.
+	Die geom.Rect
+	// KeepFills controls whether existing fill shapes (datatype 1) found
+	// in the input are treated as wires (blocking new fill) or dropped.
+	KeepFills bool
+}
+
+// FromGDS converts a parsed GDSII library into a Layout ready for the
+// fill engine. Boundaries with datatype 0 are wires; datatype-1 fills are
+// kept as wires or dropped per Options.KeepFills; polygons are decomposed
+// into rectangles. Feasible fill regions are the free space at least
+// MinSpace away from any shape, extracted per window with the slab
+// orientation chosen per layer from the dominant wire direction.
+func FromGDS(lib *gdsii.Library, opts Options) (*layout.Layout, error) {
+	if err := opts.Rules.Validate(); err != nil {
+		return nil, err
+	}
+	wires, fills, err := lib.ExtractShapes()
+	if err != nil {
+		return nil, err
+	}
+	if !opts.KeepFills {
+		fills = nil
+	}
+
+	// Collect layer ids and the overall bounding box.
+	layerSet := map[int]bool{}
+	var bbox geom.Rect
+	for li, rs := range wires {
+		layerSet[li] = true
+		for _, r := range rs {
+			bbox = bbox.Union(r)
+		}
+	}
+	for li, rs := range fills {
+		layerSet[li] = true
+		for _, r := range rs {
+			bbox = bbox.Union(r)
+		}
+	}
+	if len(layerSet) == 0 {
+		return nil, fmt.Errorf("ingest: library %q contains no shapes", lib.Name)
+	}
+	die := opts.Die
+	if die.Empty() {
+		die = bbox
+	}
+	var layerIDs []int
+	for li := range layerSet {
+		if li < 0 {
+			return nil, fmt.Errorf("ingest: negative layer id %d", li)
+		}
+		layerIDs = append(layerIDs, li)
+	}
+	sort.Ints(layerIDs)
+	maxLayer := layerIDs[len(layerIDs)-1]
+
+	window := opts.Window
+	if window <= 0 {
+		window = max64(die.W(), die.H()) / 16
+		if window < 1 {
+			window = 1
+		}
+	}
+	g, err := grid.New(die, window)
+	if err != nil {
+		return nil, err
+	}
+
+	lay := &layout.Layout{
+		Name:   lib.Name,
+		Die:    die,
+		Window: window,
+		Rules:  opts.Rules,
+	}
+	for li := 0; li <= maxLayer; li++ {
+		shapes := append(append([]geom.Rect(nil), wires[li]...), fills[li]...)
+		clipped := make([]geom.Rect, 0, len(shapes))
+		for _, s := range shapes {
+			if c := s.Intersect(die); !c.Empty() {
+				clipped = append(clipped, c)
+			}
+		}
+		lay.Layers = append(lay.Layers, &layout.Layer{
+			Wires:       clipped,
+			FillRegions: ExtractFillRegions(g, clipped, opts.Rules),
+		})
+	}
+	if err := lay.Validate(); err != nil {
+		return nil, fmt.Errorf("ingest: constructed layout invalid: %v", err)
+	}
+	return lay, nil
+}
+
+// ExtractFillRegions computes the feasible fill regions of one layer:
+// per window, the free space after expanding every shape by the minimum
+// spacing, with the slab orientation picked from the layer's dominant
+// wire direction, and slivers unable to host a legal fill dropped.
+func ExtractFillRegions(g *grid.Grid, shapes []geom.Rect, rules layout.Rules) []geom.Rect {
+	// Dominant direction: compare summed widths vs. heights.
+	var sumW, sumH int64
+	for _, s := range shapes {
+		sumW += s.W()
+		sumH += s.H()
+	}
+	vertical := sumH > sumW
+
+	perWin := make([][]geom.Rect, g.NumWindows())
+	for _, s := range shapes {
+		ex := s.Expand(rules.MinSpace)
+		g.RangeOverlapping(ex, func(i, j int, clip geom.Rect) {
+			k := j*g.NX + i
+			perWin[k] = append(perWin[k], clip)
+		})
+	}
+	var out []geom.Rect
+	for k := 0; k < g.NumWindows(); k++ {
+		win := g.Window(k%g.NX, k/g.NX)
+		for _, f := range geom.DifferenceOriented(win, perWin[k], vertical) {
+			if f.W() >= rules.MinWidth && f.H() >= rules.MinWidth && f.Area() >= rules.MinArea {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,213 @@
+package lps
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestBoundsOnlyMinimization(t *testing.T) {
+	p := NewProblem()
+	p.AddVar(2, 1, 5)  // pos cost -> lower bound
+	p.AddVar(-3, 0, 4) // neg cost -> upper bound
+	p.AddVar(0, -2, 7) // zero cost -> lower bound
+	res, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 4, -2}
+	for i, w := range want {
+		if !approx(res.X[i], w) {
+			t.Fatalf("x = %v, want %v", res.X, want)
+		}
+	}
+	if !approx(res.Obj, 2-12) {
+		t.Fatalf("obj = %v, want -10", res.Obj)
+	}
+}
+
+func TestClassicTwoVarLP(t *testing.T) {
+	// max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0
+	// (Dantzig's classic): optimum x=2, y=6, obj=36.
+	p := NewProblem()
+	x := p.AddVar(-3, 0, Inf)
+	y := p.AddVar(-5, 0, Inf)
+	p.AddConstraint(map[int]float64{x: 1}, LE, 4)
+	p.AddConstraint(map[int]float64{y: 2}, LE, 12)
+	p.AddConstraint(map[int]float64{x: 3, y: 2}, LE, 18)
+	res, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.X[x], 2) || !approx(res.X[y], 6) {
+		t.Fatalf("x=%v", res.X)
+	}
+	if !approx(res.Obj, -36) {
+		t.Fatalf("obj = %v, want -36", res.Obj)
+	}
+}
+
+func TestGEConstraints(t *testing.T) {
+	// min x + y s.t. x + y >= 10, x >= 3 → obj 10.
+	p := NewProblem()
+	x := p.AddVar(1, 3, Inf)
+	y := p.AddVar(1, 0, Inf)
+	p.AddConstraint(map[int]float64{x: 1, y: 1}, GE, 10)
+	res, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.Obj, 10) {
+		t.Fatalf("obj = %v, want 10 (x=%v)", res.Obj, res.X)
+	}
+}
+
+func TestEqualityConstraint(t *testing.T) {
+	// min 2x + y s.t. x + y = 5, 0 <= x,y <= 4 → x=1,y=4, obj 6.
+	p := NewProblem()
+	x := p.AddVar(2, 0, 4)
+	y := p.AddVar(1, 0, 4)
+	p.AddConstraint(map[int]float64{x: 1, y: 1}, EQ, 5)
+	res, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.X[x], 1) || !approx(res.X[y], 4) || !approx(res.Obj, 6) {
+		t.Fatalf("x=%v obj=%v", res.X, res.Obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(1, 0, 5)
+	p.AddConstraint(map[int]float64{x: 1}, GE, 10)
+	_, err := p.Solve()
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestInfeasibleEquality(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(0, 0, 1)
+	y := p.AddVar(0, 0, 1)
+	p.AddConstraint(map[int]float64{x: 1, y: 1}, EQ, 5)
+	_, err := p.Solve()
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem()
+	p.AddVar(-1, 0, Inf)
+	y := p.AddVar(0, 0, 10)
+	p.AddConstraint(map[int]float64{y: 1}, LE, 10)
+	_, err := p.Solve()
+	if !errors.Is(err, ErrUnboundedP) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestUpperBoundedTechnique(t *testing.T) {
+	// min -x - y s.t. x + y <= 8 with x <= 3, y <= 4: optimum (3,4), -7.
+	// The x+y<=8 row is slack; bounds do the work.
+	p := NewProblem()
+	x := p.AddVar(-1, 0, 3)
+	y := p.AddVar(-1, 0, 4)
+	p.AddConstraint(map[int]float64{x: 1, y: 1}, LE, 8)
+	res, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.Obj, -7) {
+		t.Fatalf("obj = %v, want -7 (x=%v)", res.Obj, res.X)
+	}
+}
+
+func TestNegativeLowerBounds(t *testing.T) {
+	// min x s.t. x + y >= -5, y <= 2, x >= -10 → x = -7 at y=2.
+	p := NewProblem()
+	x := p.AddVar(1, -10, Inf)
+	y := p.AddVar(0, 0, 2)
+	p.AddConstraint(map[int]float64{x: 1, y: 1}, GE, -5)
+	res, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.Obj, -7) {
+		t.Fatalf("obj = %v, want -7 (x=%v)", res.Obj, res.X)
+	}
+}
+
+func TestMaxMinDensityStyleLP(t *testing.T) {
+	// The tile-LP shape: maximize z s.t. per-window Σ fills + wires >= z,
+	// fills bounded by capacity, Σ fill area per window <= free area.
+	// 2 windows, wires 10 and 40, capacities 25 and 5: best equalized
+	// min-density z = 35 (window1: 10+25, window2: 40+5 → min(35,45)=35).
+	p := NewProblem()
+	z := p.AddVar(-1, 0, Inf)
+	f1 := p.AddVar(0, 0, 25)
+	f2 := p.AddVar(0, 0, 5)
+	p.AddConstraint(map[int]float64{f1: 1, z: -1}, GE, -10)
+	p.AddConstraint(map[int]float64{f2: 1, z: -1}, GE, -40)
+	res, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.Obj, -35) {
+		t.Fatalf("obj = %v, want -35 (x=%v)", res.Obj, res.X)
+	}
+}
+
+func TestDegenerateRedundantRows(t *testing.T) {
+	// Duplicate constraints should not break the solver.
+	p := NewProblem()
+	x := p.AddVar(-1, 0, Inf)
+	for i := 0; i < 5; i++ {
+		p.AddConstraint(map[int]float64{x: 1}, LE, 7)
+	}
+	res, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.Obj, -7) {
+		t.Fatalf("obj = %v, want -7", res.Obj)
+	}
+}
+
+func TestFixedVariable(t *testing.T) {
+	p := NewProblem()
+	x := p.AddVar(1, 3, 3) // fixed at 3
+	y := p.AddVar(1, 0, Inf)
+	p.AddConstraint(map[int]float64{x: 1, y: 1}, GE, 10)
+	res, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.X[x], 3) || !approx(res.X[y], 7) {
+		t.Fatalf("x=%v", res.X)
+	}
+}
+
+func BenchmarkSimplexDifferenceChain60(b *testing.B) {
+	n := 60
+	build := func() *Problem {
+		p := NewProblem()
+		for i := 0; i < n; i++ {
+			p.AddVar(float64(i%7+1), 0, 1000)
+		}
+		for i := 0; i+1 < n; i++ {
+			p.AddConstraint(map[int]float64{i + 1: 1, i: -1}, GE, 3)
+		}
+		return p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := build().Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

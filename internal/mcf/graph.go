@@ -1,0 +1,148 @@
+// Package mcf implements minimum-cost flow on directed graphs with node
+// supplies, arc capacities and (possibly negative) arc costs. It provides
+// two independent solvers — successive shortest paths (SPFA-based, robust
+// to negative costs) and network simplex (the algorithm family used by
+// LEMON, which the paper relied on) — plus solution validation helpers.
+//
+// It is the substrate for the dual min-cost-flow formulation (Eqn. 15/16
+// of the paper) used to size dummy fills.
+package mcf
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// InfCap is the capacity used for uncapacitated arcs. It is large enough
+// to never bind yet leaves headroom against overflow in cost arithmetic.
+const InfCap int64 = math.MaxInt64 / 8
+
+// Arc is a directed arc with capacity and per-unit cost.
+type Arc struct {
+	From, To  int
+	Cap, Cost int64
+}
+
+// Graph is a min-cost-flow problem instance. Node supplies must balance
+// (sum to zero) for a feasible flow to exist. The zero value is an empty
+// graph; add nodes with AddNode.
+type Graph struct {
+	supply []int64
+	arcs   []Arc
+}
+
+// NewGraph returns a graph with n nodes and zero supplies.
+func NewGraph(n int) *Graph {
+	return &Graph{supply: make([]int64, n)}
+}
+
+// N returns the node count.
+func (g *Graph) N() int { return len(g.supply) }
+
+// M returns the arc count.
+func (g *Graph) M() int { return len(g.arcs) }
+
+// AddNode appends a node with zero supply and returns its id.
+func (g *Graph) AddNode() int {
+	g.supply = append(g.supply, 0)
+	return len(g.supply) - 1
+}
+
+// SetSupply sets the supply of node i (negative = demand).
+func (g *Graph) SetSupply(i int, s int64) { g.supply[i] = s }
+
+// AddSupply adds s to the supply of node i.
+func (g *Graph) AddSupply(i int, s int64) { g.supply[i] += s }
+
+// Supply returns the supply of node i.
+func (g *Graph) Supply(i int) int64 { return g.supply[i] }
+
+// AddArc appends an arc and returns its id. Capacity must be >= 0.
+func (g *Graph) AddArc(from, to int, cap, cost int64) int {
+	if from < 0 || from >= len(g.supply) || to < 0 || to >= len(g.supply) {
+		panic(fmt.Sprintf("mcf: arc endpoint out of range (%d,%d) with %d nodes", from, to, len(g.supply)))
+	}
+	if cap < 0 {
+		panic("mcf: negative arc capacity")
+	}
+	g.arcs = append(g.arcs, Arc{from, to, cap, cost})
+	return len(g.arcs) - 1
+}
+
+// Arc returns the i-th arc.
+func (g *Graph) Arc(i int) Arc { return g.arcs[i] }
+
+// Result holds a min-cost-flow solution.
+type Result struct {
+	// Flow[i] is the flow on arc i.
+	Flow []int64
+	// Potential[i] is an optimal node potential (dual variable) such that
+	// reduced costs Cost - Pot[from] + Pot[to] are >= 0 on residual arcs.
+	Potential []int64
+	// Cost is the total cost sum(Flow[i]*Cost[i]).
+	Cost int64
+}
+
+// Errors returned by the solvers.
+var (
+	ErrUnbalanced = errors.New("mcf: node supplies do not sum to zero")
+	ErrInfeasible = errors.New("mcf: no feasible flow")
+	ErrUnbounded  = errors.New("mcf: negative-cost cycle with unbounded capacity")
+)
+
+// checkBalance verifies supplies sum to zero.
+func (g *Graph) checkBalance() error {
+	var s int64
+	for _, v := range g.supply {
+		s += v
+	}
+	if s != 0 {
+		return fmt.Errorf("%w (sum=%d)", ErrUnbalanced, s)
+	}
+	return nil
+}
+
+// Validate checks that res is a feasible flow for g and returns its cost.
+// It verifies capacity bounds and flow conservation.
+func (g *Graph) Validate(res *Result) (int64, error) {
+	if len(res.Flow) != len(g.arcs) {
+		return 0, fmt.Errorf("mcf: flow vector length %d, want %d", len(res.Flow), len(g.arcs))
+	}
+	imb := make([]int64, len(g.supply))
+	copy(imb, g.supply)
+	var cost int64
+	for i, a := range g.arcs {
+		f := res.Flow[i]
+		if f < 0 || f > a.Cap {
+			return 0, fmt.Errorf("mcf: arc %d flow %d outside [0,%d]", i, f, a.Cap)
+		}
+		imb[a.From] -= f
+		imb[a.To] += f
+		cost += f * a.Cost
+	}
+	for i, v := range imb {
+		if v != 0 {
+			return 0, fmt.Errorf("mcf: node %d conservation violated by %d", i, v)
+		}
+	}
+	return cost, nil
+}
+
+// VerifyOptimal checks complementary slackness of res against its own
+// potentials: every residual arc must have non-negative reduced cost.
+func (g *Graph) VerifyOptimal(res *Result) error {
+	if len(res.Potential) != len(g.supply) {
+		return fmt.Errorf("mcf: potential vector length %d, want %d", len(res.Potential), len(g.supply))
+	}
+	for i, a := range g.arcs {
+		rc := a.Cost - res.Potential[a.From] + res.Potential[a.To]
+		if res.Flow[i] < a.Cap && rc < 0 {
+			return fmt.Errorf("mcf: arc %d (%d->%d) has residual capacity and reduced cost %d < 0", i, a.From, a.To, rc)
+		}
+		if res.Flow[i] > 0 && rc > 0 {
+			return fmt.Errorf("mcf: arc %d (%d->%d) carries flow with reduced cost %d > 0", i, a.From, a.To, rc)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,244 @@
+package mcf
+
+import "fmt"
+
+// SolveNetworkSimplex solves the min-cost flow problem with the network
+// simplex method (the algorithm family used by LEMON, the solver the paper
+// used). It starts from an artificial big-M basis rooted at a virtual
+// node, pivots with Dantzig (most negative reduced cost) selection, and
+// breaks blocking-arc ties with Cunningham's last-blocking rule to avoid
+// cycling on degenerate pivots.
+func (g *Graph) SolveNetworkSimplex() (*Result, error) {
+	if err := g.checkBalance(); err != nil {
+		return nil, err
+	}
+	n := len(g.supply)
+	m := len(g.arcs)
+	root := n
+	nn := n + 1 // including root
+
+	// Arc arrays: original arcs 0..m-1, artificial arcs m..m+n-1.
+	na := m + n
+	from := make([]int, na)
+	to := make([]int, na)
+	capa := make([]int64, na)
+	cost := make([]int64, na)
+	flow := make([]int64, na)
+
+	var maxAbs int64 = 1
+	for i, a := range g.arcs {
+		from[i], to[i], capa[i], cost[i] = a.From, a.To, a.Cap, a.Cost
+		c := a.Cost
+		if c < 0 {
+			c = -c
+		}
+		if c > maxAbs {
+			maxAbs = c
+		}
+	}
+	bigM := maxAbs * int64(nn+1)
+	if bigM <= 0 {
+		return nil, fmt.Errorf("mcf: big-M overflow (max |cost| %d, %d nodes)", maxAbs, nn)
+	}
+	for i := 0; i < n; i++ {
+		ai := m + i
+		capa[ai] = InfCap
+		cost[ai] = bigM
+		if g.supply[i] >= 0 {
+			from[ai], to[ai] = i, root
+			flow[ai] = g.supply[i]
+		} else {
+			from[ai], to[ai] = root, i
+			flow[ai] = -g.supply[i]
+		}
+	}
+
+	// Spanning tree: initially all artificial arcs.
+	inTree := make([]bool, na)
+	parent := make([]int, nn)
+	parentArc := make([]int, nn)
+	depth := make([]int, nn)
+	pot := make([]int64, nn)
+	for i := 0; i < n; i++ {
+		inTree[m+i] = true
+	}
+
+	// rebuildTree recomputes parent/depth/potential by BFS over tree arcs.
+	adj := make([][]int, nn)
+	rebuildTree := func() {
+		for i := range adj {
+			adj[i] = adj[i][:0]
+		}
+		for a := 0; a < na; a++ {
+			if inTree[a] {
+				adj[from[a]] = append(adj[from[a]], a)
+				adj[to[a]] = append(adj[to[a]], a)
+			}
+		}
+		for i := range parent {
+			parent[i] = -1
+			parentArc[i] = -1
+		}
+		parent[root] = root
+		depth[root] = 0
+		pot[root] = 0
+		queue := []int{root}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, a := range adj[u] {
+				v := from[a] + to[a] - u
+				if parent[v] != -1 {
+					continue
+				}
+				parent[v] = u
+				parentArc[v] = a
+				depth[v] = depth[u] + 1
+				// Reduced cost zero on tree arcs: cost - pot[from] + pot[to] = 0.
+				if from[a] == u { // arc u -> v
+					pot[v] = pot[u] - cost[a]
+				} else { // arc v -> u
+					pot[v] = pot[u] + cost[a]
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	rebuildTree()
+
+	type cycleArc struct {
+		arc     int
+		forward bool // true if the arc points along the cycle direction
+	}
+
+	maxPivots := 200 * (na + nn) * 8
+	for pivot := 0; ; pivot++ {
+		if pivot > maxPivots {
+			return nil, fmt.Errorf("mcf: network simplex exceeded %d pivots", maxPivots)
+		}
+		// Entering arc: Dantzig rule.
+		enter := -1
+		var enterRC int64
+		enterUp := true // true: flow increases on entering arc
+		for a := 0; a < na; a++ {
+			if inTree[a] || capa[a] == 0 {
+				continue
+			}
+			rc := cost[a] - pot[from[a]] + pot[to[a]]
+			if flow[a] == 0 && rc < 0 {
+				if enter == -1 || rc < enterRC {
+					enter, enterRC, enterUp = a, rc, true
+				}
+			} else if flow[a] == capa[a] && rc > 0 {
+				if enter == -1 || -rc < enterRC {
+					enter, enterRC, enterUp = a, -rc, false
+				}
+			}
+		}
+		if enter == -1 {
+			break // optimal
+		}
+
+		// Build the pivot cycle. Cycle direction follows the entering arc
+		// from tail to head when increasing (or head to tail when
+		// decreasing flow from the upper bound).
+		u, v := from[enter], to[enter]
+		if !enterUp {
+			u, v = v, u
+		}
+		// Find LCA.
+		uu, vv := u, v
+		for depth[uu] > depth[vv] {
+			uu = parent[uu]
+		}
+		for depth[vv] > depth[uu] {
+			vv = parent[vv]
+		}
+		for uu != vv {
+			uu = parent[uu]
+			vv = parent[vv]
+		}
+		apex := uu
+
+		// Cycle arcs in direction order starting at the apex:
+		// apex -> u (down the u side), entering arc, v -> apex (up).
+		var cyc []cycleArc
+		var uSide []cycleArc
+		for x := u; x != apex; x = parent[x] {
+			a := parentArc[x]
+			// Traversal here walks x up toward apex, i.e. against the
+			// cycle direction on the u side; the cycle moves apex->x.
+			fwd := to[a] == x // arc points parent->x, same as cycle direction
+			uSide = append(uSide, cycleArc{a, fwd})
+		}
+		for i := len(uSide) - 1; i >= 0; i-- {
+			cyc = append(cyc, uSide[i])
+		}
+		cyc = append(cyc, cycleArc{enter, enterUp})
+		for x := v; x != apex; x = parent[x] {
+			a := parentArc[x]
+			fwd := from[a] == x // arc points x->parent, same as cycle direction
+			cyc = append(cyc, cycleArc{a, fwd})
+		}
+
+		// Max augmentation Δ = min residual along the cycle direction;
+		// leaving arc = LAST blocking arc in direction order (Cunningham).
+		var delta int64 = InfCap
+		leaveIdx := -1
+		for i, ca := range cyc {
+			var r int64
+			if ca.forward {
+				r = capa[ca.arc] - flow[ca.arc]
+			} else {
+				r = flow[ca.arc]
+			}
+			if ca.arc == enter && !enterUp {
+				// Entering at upper bound: flow decreases by Δ, residual
+				// is the current flow; direction bookkeeping above already
+				// handles this because forward==enterUp flips with u,v.
+				r = flow[ca.arc]
+			}
+			if r < delta {
+				delta = r
+				leaveIdx = i
+			} else if r == delta {
+				leaveIdx = i // last blocking
+			}
+		}
+		if delta >= InfCap/2 {
+			return nil, ErrUnbounded
+		}
+		// Apply Δ around the cycle.
+		if delta > 0 {
+			for _, ca := range cyc {
+				if ca.forward {
+					flow[ca.arc] += delta
+				} else {
+					flow[ca.arc] -= delta
+				}
+			}
+		}
+		leave := cyc[leaveIdx].arc
+		if leave != enter {
+			inTree[leave] = false
+			inTree[enter] = true
+			rebuildTree()
+		}
+		// If leave == enter the arc goes from one bound to the other and
+		// the tree is unchanged.
+	}
+
+	// Feasibility: artificial arcs must be empty.
+	for i := 0; i < n; i++ {
+		if flow[m+i] != 0 {
+			return nil, ErrInfeasible
+		}
+	}
+	out := &Result{Flow: make([]int64, m), Potential: make([]int64, n)}
+	for i := 0; i < m; i++ {
+		out.Flow[i] = flow[i]
+		out.Cost += flow[i] * cost[i]
+	}
+	copy(out.Potential, pot[:n])
+	return out, nil
+}

@@ -1,0 +1,345 @@
+package oasis
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"dummyfill/internal/geom"
+	"dummyfill/internal/layout"
+)
+
+// Shape is one rectangle with layer/datatype, the unit this subset
+// models.
+type Shape struct {
+	Layer    int
+	Datatype int
+	Rect     geom.Rect
+}
+
+// Library is a single-cell OASIS layout.
+type Library struct {
+	Cell   string
+	Unit   uint64 // grid points per micron (real type 0)
+	Shapes []Shape
+}
+
+// Write emits the library as an OASIS stream. Shapes are written with
+// modal-variable compression: layer, datatype, width and height are only
+// re-emitted when they change, and x/y are written in relative
+// (delta-to-previous) mode implicitly via signed absolute coordinates.
+//
+// Write sorts nothing: callers control the shape order, and grouping
+// same-size shapes (as fill solutions naturally do) maximizes modal
+// reuse.
+func (l *Library) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(Magic); err != nil {
+		return err
+	}
+	// START: version, unit, offset-flag 0 + 12 zero table offsets.
+	if err := writeUint(bw, recStart); err != nil {
+		return err
+	}
+	if err := writeString(bw, "1.0"); err != nil {
+		return err
+	}
+	unit := l.Unit
+	if unit == 0 {
+		unit = 1000
+	}
+	if err := writeRealWhole(bw, unit); err != nil {
+		return err
+	}
+	if err := writeUint(bw, 0); err != nil { // offset-flag: table offsets here
+		return err
+	}
+	for i := 0; i < 12; i++ {
+		if err := writeUint(bw, 0); err != nil {
+			return err
+		}
+	}
+
+	cell := l.Cell
+	if cell == "" {
+		cell = "TOP"
+	}
+	if err := writeUint(bw, recCellStr); err != nil {
+		return err
+	}
+	if err := writeString(bw, cell); err != nil {
+		return err
+	}
+
+	// Modal state.
+	type modal struct {
+		layer, datatype int
+		w, h            int64
+		valid           bool
+	}
+	var m modal
+	for _, s := range l.Shapes {
+		r := s.Rect
+		if r.Empty() {
+			return fmt.Errorf("oasis: empty rectangle %v", r)
+		}
+		var info byte
+		// Bits: S(7) W(6) H(5) X(4) Y(3) R(2) D(1) L(0).
+		info |= 1 << 4 // X always present
+		info |= 1 << 3 // Y always present
+		if !m.valid || s.Layer != m.layer {
+			info |= 1 << 0
+		}
+		if !m.valid || s.Datatype != m.datatype {
+			info |= 1 << 1
+		}
+		square := r.W() == r.H()
+		if square {
+			info |= 1 << 7
+			if !m.valid || r.W() != m.w {
+				info |= 1 << 6
+			}
+		} else {
+			if !m.valid || r.W() != m.w {
+				info |= 1 << 6
+			}
+			if !m.valid || r.H() != m.h {
+				info |= 1 << 5
+			}
+		}
+		if err := writeUint(bw, recRectangle); err != nil {
+			return err
+		}
+		if err := bw.WriteByte(info); err != nil {
+			return err
+		}
+		if info&(1<<0) != 0 {
+			if err := writeUint(bw, uint64(s.Layer)); err != nil {
+				return err
+			}
+		}
+		if info&(1<<1) != 0 {
+			if err := writeUint(bw, uint64(s.Datatype)); err != nil {
+				return err
+			}
+		}
+		if info&(1<<6) != 0 {
+			if err := writeUint(bw, uint64(r.W())); err != nil {
+				return err
+			}
+		}
+		if info&(1<<5) != 0 {
+			if err := writeUint(bw, uint64(r.H())); err != nil {
+				return err
+			}
+		}
+		if err := writeSint(bw, r.XL); err != nil {
+			return err
+		}
+		if err := writeSint(bw, r.YL); err != nil {
+			return err
+		}
+		m.layer, m.datatype = s.Layer, s.Datatype
+		m.w = r.W()
+		if square {
+			m.h = r.W()
+		} else {
+			m.h = r.H()
+		}
+		m.valid = true
+	}
+
+	// END record padded to exactly 256 bytes: type byte + padding string +
+	// validation scheme 0.
+	if err := writeUint(bw, recEnd); err != nil {
+		return err
+	}
+	// 256 = 1 (type) + 2 (string length can be 1 or 2 bytes; pad is 252
+	// so length 252 encodes in 2 bytes) + 252 (padding) + 1 (validation).
+	pad := make([]byte, 252)
+	if err := writeUint(bw, uint64(len(pad))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(pad); err != nil {
+		return err
+	}
+	if err := writeUint(bw, 0); err != nil { // validation: none
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read parses an OASIS stream produced by this subset (and any stream
+// restricted to the same record types).
+func Read(src io.Reader) (*Library, error) {
+	r := &reader{br: bufio.NewReader(src)}
+	magic := make([]byte, len(Magic))
+	if _, err := io.ReadFull(r.br, magic); err != nil {
+		return nil, fmt.Errorf("oasis: missing magic: %v", err)
+	}
+	if string(magic) != Magic {
+		return nil, fmt.Errorf("oasis: bad magic %q", magic)
+	}
+	lib := &Library{}
+	var m struct {
+		layer, datatype int
+		w, h            int64
+	}
+	for {
+		rt, err := r.readUint()
+		if err != nil {
+			return nil, err
+		}
+		switch rt {
+		case recPad:
+			// padding byte, skip
+		case recStart:
+			if _, err := r.readString(); err != nil { // version
+				return nil, err
+			}
+			unit, err := r.readReal()
+			if err != nil {
+				return nil, err
+			}
+			if unit < 0 {
+				return nil, fmt.Errorf("oasis: negative unit")
+			}
+			lib.Unit = uint64(unit)
+			flag, err := r.readUint()
+			if err != nil {
+				return nil, err
+			}
+			if flag == 0 {
+				for i := 0; i < 12; i++ {
+					if _, err := r.readUint(); err != nil {
+						return nil, err
+					}
+				}
+			}
+		case recCellStr:
+			name, err := r.readString()
+			if err != nil {
+				return nil, err
+			}
+			lib.Cell = name
+		case recRectangle:
+			info, err := r.br.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("oasis: truncated rectangle: %v", err)
+			}
+			if info&(1<<0) != 0 {
+				v, err := r.readUint()
+				if err != nil {
+					return nil, err
+				}
+				m.layer = int(v)
+			}
+			if info&(1<<1) != 0 {
+				v, err := r.readUint()
+				if err != nil {
+					return nil, err
+				}
+				m.datatype = int(v)
+			}
+			if info&(1<<6) != 0 {
+				v, err := r.readUint()
+				if err != nil {
+					return nil, err
+				}
+				m.w = int64(v)
+			}
+			if info&(1<<7) != 0 { // square: height follows width
+				m.h = m.w
+			} else if info&(1<<5) != 0 {
+				v, err := r.readUint()
+				if err != nil {
+					return nil, err
+				}
+				m.h = int64(v)
+			}
+			var x, y int64
+			if info&(1<<4) != 0 {
+				if x, err = r.readSint(); err != nil {
+					return nil, err
+				}
+			}
+			if info&(1<<3) != 0 {
+				if y, err = r.readSint(); err != nil {
+					return nil, err
+				}
+			}
+			if info&(1<<2) != 0 {
+				return nil, fmt.Errorf("oasis: repetitions not supported by this subset")
+			}
+			lib.Shapes = append(lib.Shapes, Shape{
+				Layer:    m.layer,
+				Datatype: m.datatype,
+				Rect:     geom.Rect{XL: x, YL: y, XH: x + m.w, YH: y + m.h},
+			})
+		case recEnd:
+			return lib, nil
+		default:
+			return nil, fmt.Errorf("oasis: unsupported record type %d", rt)
+		}
+	}
+}
+
+// FromSolution converts a fill solution into an OASIS library, grouping
+// fills by layer then by size so the modal variables compress maximally.
+func FromSolution(name string, sol *layout.Solution) *Library {
+	lib := &Library{Cell: name}
+	shapes := make([]Shape, 0, len(sol.Fills))
+	for _, f := range sol.Fills {
+		shapes = append(shapes, Shape{Layer: f.Layer + 1, Datatype: 1, Rect: f.Rect})
+	}
+	sortShapesForModalReuse(shapes)
+	lib.Shapes = shapes
+	return lib
+}
+
+// sortShapesForModalReuse orders shapes layer-major, then by dimensions,
+// then by position, so consecutive records share modal state.
+func sortShapesForModalReuse(shapes []Shape) {
+	lessRect := func(a, b geom.Rect) bool {
+		if a.W() != b.W() {
+			return a.W() < b.W()
+		}
+		if a.H() != b.H() {
+			return a.H() < b.H()
+		}
+		if a.YL != b.YL {
+			return a.YL < b.YL
+		}
+		return a.XL < b.XL
+	}
+	sortSlice(shapes, func(a, b Shape) bool {
+		if a.Layer != b.Layer {
+			return a.Layer < b.Layer
+		}
+		if a.Datatype != b.Datatype {
+			return a.Datatype < b.Datatype
+		}
+		return lessRect(a.Rect, b.Rect)
+	})
+}
+
+// EncodedSize returns the byte size the library would occupy on disk.
+func (l *Library) EncodedSize() (int64, error) {
+	var cw countWriter
+	if err := l.Write(&cw); err != nil {
+		return 0, err
+	}
+	return cw.n, nil
+}
+
+type countWriter struct{ n int64 }
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+func sortSlice(shapes []Shape, less func(a, b Shape) bool) {
+	sort.Slice(shapes, func(i, j int) bool { return less(shapes[i], shapes[j]) })
+}

@@ -1,0 +1,215 @@
+package oasis
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"dummyfill/internal/gdsii"
+	"dummyfill/internal/geom"
+	"dummyfill/internal/layout"
+)
+
+func sampleLib() *Library {
+	return &Library{
+		Cell: "TOP",
+		Unit: 1000,
+		Shapes: []Shape{
+			{Layer: 1, Datatype: 1, Rect: geom.R(0, 0, 10, 10)},
+			{Layer: 1, Datatype: 1, Rect: geom.R(20, 0, 30, 10)}, // same size: modal reuse
+			{Layer: 1, Datatype: 1, Rect: geom.R(40, 0, 55, 10)}, // new width
+			{Layer: 2, Datatype: 1, Rect: geom.R(0, 20, 10, 30)}, // new layer
+			{Layer: 2, Datatype: 1, Rect: geom.R(-5, -9, 3, 1)},  // negative coords
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	lib := sampleLib()
+	var buf bytes.Buffer
+	if err := lib.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cell != "TOP" || back.Unit != 1000 {
+		t.Fatalf("metadata: %+v", back)
+	}
+	if len(back.Shapes) != len(lib.Shapes) {
+		t.Fatalf("shapes: %d vs %d", len(back.Shapes), len(lib.Shapes))
+	}
+	for i := range lib.Shapes {
+		if back.Shapes[i] != lib.Shapes[i] {
+			t.Fatalf("shape %d: %+v vs %+v", i, back.Shapes[i], lib.Shapes[i])
+		}
+	}
+}
+
+func TestEndRecordIs256Bytes(t *testing.T) {
+	empty := &Library{Cell: "C"}
+	var buf bytes.Buffer
+	if err := empty.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Stream = magic + START(...) + CELL + END(256). Verify the END block:
+	// the last 256 bytes start with the byte 0x02.
+	b := buf.Bytes()
+	if len(b) < 256 {
+		t.Fatalf("stream too short: %d", len(b))
+	}
+	if b[len(b)-256] != recEnd {
+		t.Fatalf("END record not 256 bytes from the end (found %#x)", b[len(b)-256])
+	}
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	bw := newTestWriter(&buf)
+	vals := []uint64{0, 1, 127, 128, 300, 1 << 20, 1 << 40, 1<<63 - 1}
+	for _, v := range vals {
+		if err := writeUint(bw, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	svals := []int64{0, 1, -1, 63, -64, 1 << 30, -(1 << 30)}
+	for _, v := range svals {
+		if err := writeSint(bw, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bw.Flush()
+	r := &reader{br: newTestReader(&buf)}
+	for _, want := range vals {
+		got, err := r.readUint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("uint %d -> %d", want, got)
+		}
+	}
+	for _, want := range svals {
+		got, err := r.readSint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("sint %d -> %d", want, got)
+		}
+	}
+}
+
+func TestModalCompressionShrinksRepeatedFills(t *testing.T) {
+	// 1000 identical-size squares: modal reuse must bring the per-shape
+	// cost far below GDSII's 64 bytes.
+	rng := rand.New(rand.NewSource(4))
+	sol := &layout.Solution{}
+	for i := 0; i < 1000; i++ {
+		x, y := rng.Int63n(100000), rng.Int63n(100000)
+		sol.Fills = append(sol.Fills, layout.Fill{Layer: 0, Rect: geom.R(x, y, x+320, y+320)})
+	}
+	oas := FromSolution("F", sol)
+	oasSize, err := oas.EncodedSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gdsSize, err := gdsii.FromSolution("F", sol).EncodedSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	perShape := float64(oasSize-256-64) / 1000 // minus END + header slack
+	if perShape > 12 {
+		t.Fatalf("OASIS per-shape cost %.1f bytes, expected < 12 with modal reuse", perShape)
+	}
+	if oasSize*3 > gdsSize {
+		t.Fatalf("OASIS (%d) should be well under a third of GDSII (%d)", oasSize, gdsSize)
+	}
+}
+
+func TestFromSolutionSortsForReuse(t *testing.T) {
+	sol := &layout.Solution{Fills: []layout.Fill{
+		{Layer: 1, Rect: geom.R(0, 0, 5, 5)},
+		{Layer: 0, Rect: geom.R(0, 0, 5, 5)},
+		{Layer: 0, Rect: geom.R(10, 0, 20, 5)},
+		{Layer: 0, Rect: geom.R(30, 0, 35, 5)},
+	}}
+	lib := FromSolution("X", sol)
+	for i := 1; i < len(lib.Shapes); i++ {
+		if lib.Shapes[i].Layer < lib.Shapes[i-1].Layer {
+			t.Fatal("shapes not layer-sorted")
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("not oasis"))); err == nil {
+		t.Fatal("bad magic must error")
+	}
+	// Valid magic, truncated body.
+	if _, err := Read(bytes.NewReader([]byte(Magic))); err == nil {
+		t.Fatal("truncated stream must error")
+	}
+}
+
+func TestReadNeverPanicsOnMutation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleLib().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	rng := rand.New(rand.NewSource(12))
+	for it := 0; it < 300; it++ {
+		mut := append([]byte(nil), valid...)
+		for k := 0; k < 1+rng.Intn(3); k++ {
+			mut[rng.Intn(len(mut))] = byte(rng.Intn(256))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("it %d: reader panicked: %v", it, r)
+				}
+			}()
+			_, _ = Read(bytes.NewReader(mut))
+		}()
+	}
+}
+
+func TestWriteRejectsEmptyRect(t *testing.T) {
+	lib := &Library{Cell: "X", Shapes: []Shape{{Layer: 1, Rect: geom.Rect{}}}}
+	if err := lib.Write(&bytes.Buffer{}); err == nil {
+		t.Fatal("empty rect must be rejected")
+	}
+}
+
+func BenchmarkOASISWrite10k(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	sol := &layout.Solution{}
+	for i := 0; i < 10000; i++ {
+		x, y := rng.Int63n(1000000), rng.Int63n(1000000)
+		sol.Fills = append(sol.Fills, layout.Fill{Layer: i % 3, Rect: geom.R(x, y, x+300, y+300)})
+	}
+	lib := FromSolution("B", sol)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lib.EncodedSize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestEmptySolutionRoundTrip(t *testing.T) {
+	lib := FromSolution("E", &layout.Solution{})
+	var buf bytes.Buffer
+	if err := lib.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Shapes) != 0 || back.Cell != "E" {
+		t.Fatalf("empty solution round trip: %+v", back)
+	}
+}

@@ -1,0 +1,138 @@
+// Package render draws layouts and fill solutions as SVG — the debugging
+// and documentation view of the flow (wires vs. inserted fills per layer,
+// window grid, density heat maps).
+package render
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"dummyfill/internal/geom"
+	"dummyfill/internal/grid"
+	"dummyfill/internal/layout"
+)
+
+// Options control SVG rendering.
+type Options struct {
+	// PixelWidth is the output image width in px (height follows the die
+	// aspect ratio). Zero picks 800.
+	PixelWidth int
+	// Layers restricts rendering to the listed layer indices (nil = all).
+	Layers []int
+	// ShowGrid draws the density window grid.
+	ShowGrid bool
+}
+
+// Layer palette: wires solid, fills translucent.
+var wireColors = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#8c564b", "#e377c2"}
+var fillColors = []string{"#aec7e8", "#ff9896", "#98df8a", "#c5b0d5", "#c49c94", "#f7b6d2"}
+
+// SVG renders the layout (and optional solution) to w.
+func SVG(out io.Writer, lay *layout.Layout, sol *layout.Solution, opts Options) error {
+	if lay.Die.Empty() {
+		return fmt.Errorf("render: empty die")
+	}
+	pw := opts.PixelWidth
+	if pw <= 0 {
+		pw = 800
+	}
+	scale := float64(pw) / float64(lay.Die.W())
+	ph := int(float64(lay.Die.H()) * scale)
+	bw := bufio.NewWriter(out)
+
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", pw, ph, pw, ph)
+	fmt.Fprintf(bw, `<rect width="%d" height="%d" fill="#ffffff"/>`+"\n", pw, ph)
+
+	want := map[int]bool{}
+	for _, li := range opts.Layers {
+		want[li] = true
+	}
+	use := func(li int) bool { return len(want) == 0 || want[li] }
+
+	// px converts a die rect to pixel coordinates (SVG y grows downward).
+	px := func(r geom.Rect) (x, y, w, h float64) {
+		x = float64(r.XL-lay.Die.XL) * scale
+		w = float64(r.W()) * scale
+		h = float64(r.H()) * scale
+		y = float64(ph) - float64(r.YH-lay.Die.YL)*scale
+		return
+	}
+	emit := func(r geom.Rect, color string, opacity float64) {
+		x, y, w, h := px(r)
+		fmt.Fprintf(bw, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="%s" fill-opacity="%.2f"/>`+"\n",
+			x, y, w, h, color, opacity)
+	}
+
+	for li, layer := range lay.Layers {
+		if !use(li) {
+			continue
+		}
+		c := wireColors[li%len(wireColors)]
+		for _, wr := range layer.Wires {
+			emit(wr, c, 0.9)
+		}
+	}
+	if sol != nil {
+		per := sol.PerLayer(len(lay.Layers))
+		for li, fills := range per {
+			if !use(li) {
+				continue
+			}
+			c := fillColors[li%len(fillColors)]
+			for _, f := range fills {
+				emit(f, c, 0.6)
+			}
+		}
+	}
+	if opts.ShowGrid {
+		if g, err := lay.Grid(); err == nil {
+			for i := 0; i <= g.NX; i++ {
+				x := float64(int64(i)*g.W) * scale
+				if x > float64(pw) {
+					x = float64(pw)
+				}
+				fmt.Fprintf(bw, `<line x1="%.2f" y1="0" x2="%.2f" y2="%d" stroke="#888" stroke-width="0.5"/>`+"\n", x, x, ph)
+			}
+			for j := 0; j <= g.NY; j++ {
+				y := float64(ph) - float64(int64(j)*g.W)*scale
+				if y < 0 {
+					y = 0
+				}
+				fmt.Fprintf(bw, `<line x1="0" y1="%.2f" x2="%d" y2="%.2f" stroke="#888" stroke-width="0.5"/>`+"\n", y, pw, y)
+			}
+		}
+	}
+	fmt.Fprintln(bw, "</svg>")
+	return bw.Flush()
+}
+
+// HeatSVG renders a density map as a grayscale heat map (dense = dark).
+func HeatSVG(out io.Writer, m *grid.Map, pixelWidth int) error {
+	g := m.G
+	if pixelWidth <= 0 {
+		pixelWidth = 800
+	}
+	scale := float64(pixelWidth) / float64(g.Die.W())
+	ph := int(float64(g.Die.H()) * scale)
+	bw := bufio.NewWriter(out)
+	fmt.Fprintf(bw, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d">`+"\n", pixelWidth, ph)
+	lo, hi := m.MinMax()
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			w := g.Window(i, j)
+			v := (m.At(i, j) - lo) / span
+			shade := int(255 * (1 - v))
+			x := float64(w.XL-g.Die.XL) * scale
+			y := float64(ph) - float64(w.YH-g.Die.YL)*scale
+			fmt.Fprintf(bw, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="rgb(%d,%d,%d)"/>`+"\n",
+				x, y, float64(w.W())*scale, float64(w.H())*scale, shade, shade, shade)
+		}
+	}
+	fmt.Fprintln(bw, "</svg>")
+	return bw.Flush()
+}

@@ -1,0 +1,129 @@
+package render
+
+import (
+	"bytes"
+	"encoding/xml"
+	"strings"
+	"testing"
+
+	"dummyfill/internal/geom"
+	"dummyfill/internal/grid"
+	"dummyfill/internal/layout"
+)
+
+func renderLayout() (*layout.Layout, *layout.Solution) {
+	lay := &layout.Layout{
+		Name: "r", Die: geom.R(0, 0, 400, 200), Window: 100,
+		Rules: layout.Rules{MinWidth: 4, MinSpace: 4, MinArea: 16},
+		Layers: []*layout.Layer{
+			{Wires: []geom.Rect{geom.R(10, 10, 100, 40)}},
+			{Wires: []geom.Rect{geom.R(200, 100, 380, 130)}},
+		},
+	}
+	sol := &layout.Solution{Fills: []layout.Fill{
+		{Layer: 0, Rect: geom.R(150, 50, 200, 90)},
+		{Layer: 1, Rect: geom.R(20, 150, 60, 190)},
+	}}
+	return lay, sol
+}
+
+func TestSVGWellFormed(t *testing.T) {
+	lay, sol := renderLayout()
+	var buf bytes.Buffer
+	if err := SVG(&buf, lay, sol, Options{ShowGrid: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Must be parseable XML.
+	dec := xml.NewDecoder(bytes.NewReader(buf.Bytes()))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				break
+			}
+			t.Fatalf("invalid XML: %v", err)
+		}
+	}
+	s := buf.String()
+	// 1 background + 2 wires + 2 fills = 5 rects.
+	if got := strings.Count(s, "<rect"); got != 5 {
+		t.Fatalf("rect count = %d, want 5", got)
+	}
+	// Grid lines: (4+1) vertical + (2+1) horizontal = 8.
+	if got := strings.Count(s, "<line"); got != 8 {
+		t.Fatalf("grid line count = %d, want 8", got)
+	}
+}
+
+func TestSVGLayerFilter(t *testing.T) {
+	lay, sol := renderLayout()
+	var buf bytes.Buffer
+	if err := SVG(&buf, lay, sol, Options{Layers: []int{0}}); err != nil {
+		t.Fatal(err)
+	}
+	// 1 background + 1 wire + 1 fill.
+	if got := strings.Count(buf.String(), "<rect"); got != 3 {
+		t.Fatalf("filtered rect count = %d, want 3", got)
+	}
+}
+
+func TestSVGNoSolution(t *testing.T) {
+	lay, _ := renderLayout()
+	var buf bytes.Buffer
+	if err := SVG(&buf, lay, nil, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(buf.String(), "<rect"); got != 3 { // bg + 2 wires
+		t.Fatalf("rect count = %d, want 3", got)
+	}
+}
+
+func TestSVGEmptyDie(t *testing.T) {
+	if err := SVG(&bytes.Buffer{}, &layout.Layout{}, nil, Options{}); err == nil {
+		t.Fatal("empty die must error")
+	}
+}
+
+func TestSVGAspectRatio(t *testing.T) {
+	lay, _ := renderLayout() // 400x200 die
+	var buf bytes.Buffer
+	if err := SVG(&buf, lay, nil, Options{PixelWidth: 400}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `width="400" height="200"`) {
+		t.Fatalf("aspect ratio not preserved: %s", buf.String()[:120])
+	}
+}
+
+func TestHeatSVG(t *testing.T) {
+	g, err := grid.New(geom.R(0, 0, 200, 200), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := grid.NewMap(g)
+	m.Set(0, 0, 1.0)
+	var buf bytes.Buffer
+	if err := HeatSVG(&buf, m, 200); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if got := strings.Count(s, "<rect"); got != 4 {
+		t.Fatalf("heat cell count = %d, want 4", got)
+	}
+	// The dense window must be black, an empty one white.
+	if !strings.Contains(s, "rgb(0,0,0)") || !strings.Contains(s, "rgb(255,255,255)") {
+		t.Fatal("heat map shades wrong")
+	}
+}
+
+func TestHeatSVGUniform(t *testing.T) {
+	g, _ := grid.New(geom.R(0, 0, 100, 100), 50)
+	m := grid.NewMap(g)
+	for k := range m.V {
+		m.V[k] = 0.5
+	}
+	var buf bytes.Buffer
+	if err := HeatSVG(&buf, m, 100); err != nil {
+		t.Fatal(err) // zero span must not divide by zero
+	}
+}

@@ -1,0 +1,129 @@
+package score
+
+import (
+	"math/rand"
+	"testing"
+
+	"dummyfill/internal/geom"
+	"dummyfill/internal/layout"
+)
+
+func TestOverlaySingleLayerNoPairs(t *testing.T) {
+	lay := &layout.Layout{
+		Name: "one", Die: geom.R(0, 0, 100, 100), Window: 50,
+		Rules:  layout.Rules{MinWidth: 2, MinSpace: 2, MinArea: 4},
+		Layers: []*layout.Layer{{FillRegions: []geom.Rect{geom.R(0, 0, 100, 100)}}},
+	}
+	sol := &layout.Solution{Fills: []layout.Fill{{Layer: 0, Rect: geom.R(0, 0, 50, 50)}}}
+	if ovs := OverlayAreas(lay, sol); len(ovs) != 0 {
+		t.Fatalf("single layer must have no overlay pairs: %v", ovs)
+	}
+	if ov := TotalOverlay(lay, sol); ov != 0 {
+		t.Fatalf("total overlay = %d", ov)
+	}
+}
+
+func TestOverlayEmptySolution(t *testing.T) {
+	lay := twoLayerLayout()
+	if ov := TotalOverlay(lay, &layout.Solution{}); ov != 0 {
+		t.Fatalf("empty solution overlay = %d", ov)
+	}
+}
+
+// TestOverlayBruteForce cross-checks the indexed overlay computation
+// against an O(n²) reference on random solutions.
+func TestOverlayBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for it := 0; it < 30; it++ {
+		lay := &layout.Layout{
+			Name: "bf", Die: geom.R(0, 0, 200, 200), Window: 100,
+			Rules: layout.Rules{MinWidth: 2, MinSpace: 2, MinArea: 4},
+			Layers: []*layout.Layer{
+				{Wires: randDisjointRects(rng, 5)},
+				{Wires: randDisjointRects(rng, 5)},
+			},
+		}
+		// Random fills (disjoint per layer to match the DRC contract).
+		sol := &layout.Solution{}
+		for li := 0; li < 2; li++ {
+			for _, r := range randDisjointRects(rng, 6) {
+				sol.Fills = append(sol.Fills, layout.Fill{Layer: li, Rect: r})
+			}
+		}
+		got := TotalOverlay(lay, sol)
+		want := bruteOverlay(lay, sol)
+		if got != want {
+			t.Fatalf("it %d: overlay %d, brute %d", it, got, want)
+		}
+	}
+}
+
+// randDisjointRects returns rects on a coarse grid so they never overlap
+// within one set.
+func randDisjointRects(rng *rand.Rand, n int) []geom.Rect {
+	used := map[int]bool{}
+	var out []geom.Rect
+	for len(out) < n {
+		cell := rng.Intn(25) // 5x5 grid of 40x40 cells
+		if used[cell] {
+			continue
+		}
+		used[cell] = true
+		cx := int64(cell%5) * 40
+		cy := int64(cell/5) * 40
+		w := 10 + rng.Int63n(28)
+		h := 10 + rng.Int63n(28)
+		out = append(out, geom.R(cx+1, cy+1, cx+1+w, cy+1+h))
+	}
+	return out
+}
+
+// bruteOverlay computes the §2.1 overlay definition directly: per pair
+// (l,l+1), area of fills(l)∩(wires(l+1)∪fills(l+1)) + wires(l)∩fills(l+1).
+func bruteOverlay(lay *layout.Layout, sol *layout.Solution) int64 {
+	nl := len(lay.Layers)
+	per := sol.PerLayer(nl)
+	var total int64
+	for l := 0; l+1 < nl; l++ {
+		upper := append(append([]geom.Rect{}, lay.Layers[l+1].Wires...), per[l+1]...)
+		for _, f := range per[l] {
+			var pieces []geom.Rect
+			for _, u := range upper {
+				if c := f.Intersect(u); !c.Empty() {
+					pieces = append(pieces, c)
+				}
+			}
+			total += geom.UnionArea(pieces)
+		}
+		for _, w := range lay.Layers[l].Wires {
+			var pieces []geom.Rect
+			for _, u := range per[l+1] {
+				if c := w.Intersect(u); !c.Empty() {
+					pieces = append(pieces, c)
+				}
+			}
+			total += geom.UnionArea(pieces)
+		}
+	}
+	return total
+}
+
+func BenchmarkTotalOverlay(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	lay := &layout.Layout{
+		Name: "bo", Die: geom.R(0, 0, 10000, 10000), Window: 1000,
+		Rules: layout.Rules{MinWidth: 2, MinSpace: 2, MinArea: 4},
+		Layers: []*layout.Layer{
+			{}, {},
+		},
+	}
+	sol := &layout.Solution{}
+	for i := 0; i < 5000; i++ {
+		x, y := rng.Int63n(9900), rng.Int63n(9900)
+		sol.Fills = append(sol.Fills, layout.Fill{Layer: i % 2, Rect: geom.R(x, y, x+90, y+90)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TotalOverlay(lay, sol)
+	}
+}

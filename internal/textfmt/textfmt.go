@@ -1,0 +1,225 @@
+// Package textfmt implements a line-oriented text format for layouts and
+// fill solutions — the human-authorable counterpart to the GDSII binary
+// path, in the spirit of the plain-text benchmark descriptions DFM
+// contests distribute alongside GDSII.
+//
+// Layout file grammar (one directive per line, '#' comments):
+//
+//	layout <name>
+//	die <xl> <yl> <xh> <yh>
+//	window <size>
+//	rules <minwidth> <minspace> <minarea> <maxfilldim>
+//	layer <index>
+//	wire <xl> <yl> <xh> <yh>      # belongs to the last 'layer'
+//	region <xl> <yl> <xh> <yh>    # feasible fill region
+//
+// Solution file grammar:
+//
+//	solution <name>
+//	fill <layer> <xl> <yl> <xh> <yh>
+package textfmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dummyfill/internal/geom"
+	"dummyfill/internal/layout"
+)
+
+// WriteLayout emits lay in the text format.
+func WriteLayout(w io.Writer, lay *layout.Layout) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "layout %s\n", sanitizeName(lay.Name))
+	fmt.Fprintf(bw, "die %d %d %d %d\n", lay.Die.XL, lay.Die.YL, lay.Die.XH, lay.Die.YH)
+	fmt.Fprintf(bw, "window %d\n", lay.Window)
+	fmt.Fprintf(bw, "rules %d %d %d %d\n",
+		lay.Rules.MinWidth, lay.Rules.MinSpace, lay.Rules.MinArea, lay.Rules.MaxFillDim)
+	for li, layer := range lay.Layers {
+		fmt.Fprintf(bw, "layer %d\n", li)
+		for _, r := range layer.Wires {
+			fmt.Fprintf(bw, "wire %d %d %d %d\n", r.XL, r.YL, r.XH, r.YH)
+		}
+		for _, r := range layer.FillRegions {
+			fmt.Fprintf(bw, "region %d %d %d %d\n", r.XL, r.YL, r.XH, r.YH)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLayout parses the text format into a Layout (validated).
+func ReadLayout(r io.Reader) (*layout.Layout, error) {
+	lay := &layout.Layout{}
+	cur := -1
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		bad := func(msg string) error {
+			return fmt.Errorf("textfmt: line %d: %s: %q", lineNo, msg, line)
+		}
+		switch fields[0] {
+		case "layout":
+			if len(fields) != 2 {
+				return nil, bad("layout needs a name")
+			}
+			lay.Name = fields[1]
+		case "die":
+			r, err := parseRect(fields[1:])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			lay.Die = r
+		case "window":
+			if len(fields) != 2 {
+				return nil, bad("window needs a size")
+			}
+			v, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			lay.Window = v
+		case "rules":
+			if len(fields) != 5 {
+				return nil, bad("rules needs 4 values")
+			}
+			vals, err := parseInts(fields[1:])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			lay.Rules = layout.Rules{
+				MinWidth: vals[0], MinSpace: vals[1],
+				MinArea: vals[2], MaxFillDim: vals[3],
+			}
+		case "layer":
+			if len(fields) != 2 {
+				return nil, bad("layer needs an index")
+			}
+			idx, err := strconv.Atoi(fields[1])
+			if err != nil || idx != len(lay.Layers) {
+				return nil, bad("layer indices must be sequential from 0")
+			}
+			lay.Layers = append(lay.Layers, &layout.Layer{})
+			cur = idx
+		case "wire", "region":
+			if cur < 0 {
+				return nil, bad("shape before any 'layer' directive")
+			}
+			r, err := parseRect(fields[1:])
+			if err != nil {
+				return nil, bad(err.Error())
+			}
+			if fields[0] == "wire" {
+				lay.Layers[cur].Wires = append(lay.Layers[cur].Wires, r)
+			} else {
+				lay.Layers[cur].FillRegions = append(lay.Layers[cur].FillRegions, r)
+			}
+		default:
+			return nil, bad("unknown directive")
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := lay.Validate(); err != nil {
+		return nil, fmt.Errorf("textfmt: %v", err)
+	}
+	return lay, nil
+}
+
+// WriteSolution emits sol in the text format.
+func WriteSolution(w io.Writer, name string, sol *layout.Solution) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "solution %s\n", sanitizeName(name))
+	for _, f := range sol.Fills {
+		fmt.Fprintf(bw, "fill %d %d %d %d %d\n", f.Layer, f.Rect.XL, f.Rect.YL, f.Rect.XH, f.Rect.YH)
+	}
+	return bw.Flush()
+}
+
+// ReadSolution parses a text solution.
+func ReadSolution(r io.Reader) (name string, sol *layout.Solution, err error) {
+	sol = &layout.Solution{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "solution":
+			if len(fields) != 2 {
+				return "", nil, fmt.Errorf("textfmt: line %d: solution needs a name", lineNo)
+			}
+			name = fields[1]
+		case "fill":
+			if len(fields) != 6 {
+				return "", nil, fmt.Errorf("textfmt: line %d: fill needs 5 values", lineNo)
+			}
+			li, err := strconv.Atoi(fields[1])
+			if err != nil || li < 0 {
+				return "", nil, fmt.Errorf("textfmt: line %d: bad layer %q", lineNo, fields[1])
+			}
+			r, err := parseRect(fields[2:])
+			if err != nil {
+				return "", nil, fmt.Errorf("textfmt: line %d: %v", lineNo, err)
+			}
+			sol.Fills = append(sol.Fills, layout.Fill{Layer: li, Rect: r})
+		default:
+			return "", nil, fmt.Errorf("textfmt: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	return name, sol, sc.Err()
+}
+
+func parseRect(fields []string) (geom.Rect, error) {
+	if len(fields) != 4 {
+		return geom.Rect{}, fmt.Errorf("rect needs 4 coordinates")
+	}
+	vals, err := parseInts(fields)
+	if err != nil {
+		return geom.Rect{}, err
+	}
+	r := geom.Rect{XL: vals[0], YL: vals[1], XH: vals[2], YH: vals[3]}
+	if r.Empty() {
+		return geom.Rect{}, fmt.Errorf("degenerate rect %v", r)
+	}
+	return r, nil
+}
+
+func parseInts(fields []string) ([]int64, error) {
+	out := make([]int64, len(fields))
+	for i, f := range fields {
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", f)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+func sanitizeName(s string) string {
+	if s == "" {
+		return "unnamed"
+	}
+	return strings.Map(func(r rune) rune {
+		if r == ' ' || r == '\t' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, s)
+}
