@@ -30,6 +30,7 @@ import (
 func BenchmarkTable2_Statistics(b *testing.B) {
 	for _, name := range []string{"s", "b", "m"} {
 		b.Run(name, func(b *testing.B) {
+			skipLargeInShort(b, name)
 			for i := 0; i < b.N; i++ {
 				lay, coeffs, err := dummyfill.GenerateBenchmark(name)
 				if err != nil {
@@ -48,12 +49,16 @@ func BenchmarkTable2_Statistics(b *testing.B) {
 // sub-benchmark per (design, method) with quality/score/fills attached.
 func BenchmarkTable3_Comparison(b *testing.B) {
 	for _, name := range []string{"s", "b", "m"} {
+		if testing.Short() && name == "m" {
+			continue // skip before the minutes-long generation/calibration
+		}
 		lay, coeffs, err := dummyfill.GenerateBenchmark(name)
 		if err != nil {
 			b.Fatal(err)
 		}
 		for _, m := range dummyfill.AllMethods(dummyfill.DefaultOptions()) {
 			b.Run(name+"/"+m.Name, func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					rep, sol, err := dummyfill.RunMethod(m, lay, coeffs)
 					if err != nil {
@@ -95,6 +100,15 @@ func BenchmarkFig6_DualMCF(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// skipLargeInShort skips the minutes-long design "m" passes under
+// `go test -short` so CI stays fast.
+func skipLargeInShort(b *testing.B, design string) {
+	b.Helper()
+	if testing.Short() && design == "m" {
+		b.Skip("design m skipped in -short mode")
 	}
 }
 
@@ -336,11 +350,19 @@ func BenchmarkAblation_Solver(b *testing.B) {
 	}
 	for _, s := range []struct {
 		name   string
-		solver dlp.PSolver
-	}{{"SSP", dlp.ViaSSP}, {"NetworkSimplex", dlp.ViaNetworkSimplex}, {"Simplex", dlp.ViaSimplexLP}} {
+		solver dlp.PSolver // nil keeps the default warm-started factory
+	}{
+		{"WarmSSP", nil},
+		{"SSP", dlp.ViaSSP},
+		{"NetworkSimplex", dlp.ViaNetworkSimplex},
+		{"Simplex", dlp.ViaSimplexLP},
+	} {
 		b.Run(s.name, func(b *testing.B) {
+			b.ReportAllocs()
 			opts := dummyfill.DefaultOptions()
-			opts.Solver = s.solver
+			if s.solver != nil {
+				opts.Solver = s.solver
+			}
 			for i := 0; i < b.N; i++ {
 				if _, err := dummyfill.Insert(lay, opts); err != nil {
 					b.Fatal(err)

@@ -1,0 +1,40 @@
+package dummyfill_test
+
+import (
+	"bytes"
+	"testing"
+
+	dummyfill "dummyfill"
+)
+
+// TestInsertByteIdenticalGDS runs the full flow twice on the same layout
+// with parallel workers and requires the serialized GDSII streams to be
+// byte-identical — the engine's determinism contract all the way to the
+// output file.
+func TestInsertByteIdenticalGDS(t *testing.T) {
+	lay, _, err := dummyfill.GenerateBenchmark("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := dummyfill.DefaultOptions()
+	opts.Workers = 4
+	run := func() []byte {
+		res, err := dummyfill.Insert(lay, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := dummyfill.WriteGDS(&buf, lay, &res.Solution); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		i := 0
+		for i < len(a) && i < len(b) && a[i] == b[i] {
+			i++
+		}
+		t.Fatalf("GDSII streams differ: %d vs %d bytes, first divergence at offset %d", len(a), len(b), i)
+	}
+}

@@ -50,6 +50,25 @@ func NewProblem(n int, hi int64) *Problem {
 // N returns the variable count.
 func (p *Problem) N() int { return len(p.C) }
 
+// Reset reinitializes p to n variables with zero costs, zero bounds and no
+// constraints, reusing the underlying storage — the counterpart of
+// NewProblem(n, 0) for callers that rebuild a problem every pass.
+func (p *Problem) Reset(n int) {
+	if cap(p.C) < n {
+		p.C = make([]int64, n)
+		p.Lo = make([]int64, n)
+		p.Hi = make([]int64, n)
+	} else {
+		p.C = p.C[:n]
+		p.Lo = p.Lo[:n]
+		p.Hi = p.Hi[:n]
+		for i := 0; i < n; i++ {
+			p.C[i], p.Lo[i], p.Hi[i] = 0, 0, 0
+		}
+	}
+	p.Cons = p.Cons[:0]
+}
+
 // AddConstraint appends x_i − x_j ≥ b.
 func (p *Problem) AddConstraint(i, j int, b int64) {
 	p.Cons = append(p.Cons, Constraint{i, j, b})

@@ -1,0 +1,187 @@
+package dlp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+// randomProblem builds a random feasible-or-not difference-constraint
+// instance shaped like a sizing pass.
+func randomProblem(rng *rand.Rand, n int) *Problem {
+	p := NewProblem(n, 0)
+	for i := 0; i < n; i++ {
+		lo := int64(rng.Intn(50))
+		p.Lo[i] = lo
+		p.Hi[i] = lo + int64(rng.Intn(100))
+		p.C[i] = int64(rng.Intn(41) - 20)
+	}
+	for k := 0; k < n; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		p.AddConstraint(i, j, int64(rng.Intn(30)-15))
+	}
+	return p
+}
+
+// TestWarmMatchesCold cross-validates the warm solver against the one-shot
+// path over a stream of random instances reusing one WarmSolver: same
+// objective value (and same feasibility verdict) every time.
+func TestWarmMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := NewWarmSolver()
+	solved := 0
+	for it := 0; it < 300; it++ {
+		p := randomProblem(rng, 2+rng.Intn(12))
+		xw, objW, errW := s.Solve(p)
+		xc, objC, errC := p.Solve()
+		if (errW == nil) != (errC == nil) {
+			t.Fatalf("it %d: verdict mismatch warm=%v cold=%v", it, errW, errC)
+		}
+		if errW != nil {
+			if !errors.Is(errW, ErrInfeasible) {
+				t.Fatalf("it %d: unexpected error %v", it, errW)
+			}
+			continue
+		}
+		solved++
+		if objW != objC {
+			t.Fatalf("it %d: objective mismatch warm=%d cold=%d", it, objW, objC)
+		}
+		if err := p.Check(xw); err != nil {
+			t.Fatalf("it %d: warm solution invalid: %v", it, err)
+		}
+		if err := p.Check(xc); err != nil {
+			t.Fatalf("it %d: cold solution invalid: %v", it, err)
+		}
+	}
+	if solved == 0 {
+		t.Fatal("no feasible instances exercised")
+	}
+}
+
+// TestWarmSequenceReusesState mimics the alternating-direction sizing
+// loop: repeated solves of one instance with slightly perturbed costs must
+// all return the instance optimum.
+func TestWarmSequenceReusesState(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := NewWarmSolver()
+	base := randomProblem(rng, 20)
+	for pass := 0; pass < 10; pass++ {
+		for i := range base.C {
+			base.C[i] += int64(rng.Intn(5) - 2)
+		}
+		_, objW, errW := s.Solve(base)
+		_, objC, errC := base.Solve()
+		if (errW == nil) != (errC == nil) {
+			t.Fatalf("pass %d: verdict mismatch warm=%v cold=%v", pass, errW, errC)
+		}
+		if errW == nil && objW != objC {
+			t.Fatalf("pass %d: objective mismatch warm=%d cold=%d", pass, objW, objC)
+		}
+	}
+}
+
+// TestWarmAfterInfeasible checks the solver recovers cleanly after an
+// infeasible instance (the dropCrowded retry pattern).
+func TestWarmAfterInfeasible(t *testing.T) {
+	s := NewWarmSolver()
+	bad := NewProblem(2, 10)
+	bad.AddConstraint(0, 1, 5)
+	bad.AddConstraint(1, 0, 5) // x0-x1 >= 5 and x1-x0 >= 5: impossible
+	if _, _, err := s.Solve(bad); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+	good := NewProblem(2, 10)
+	good.C = []int64{1, 1}
+	good.AddConstraint(0, 1, 3)
+	x, obj, err := s.Solve(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj != 3 || x[0]-x[1] < 3 {
+		t.Fatalf("bad recovery solution x=%v obj=%d", x, obj)
+	}
+}
+
+// TestProblemReset verifies Reset matches NewProblem semantics.
+func TestProblemReset(t *testing.T) {
+	p := NewProblem(3, 7)
+	p.C[0] = 5
+	p.AddConstraint(0, 1, 2)
+	p.Reset(2)
+	if p.N() != 2 || len(p.Cons) != 0 {
+		t.Fatalf("reset left n=%d cons=%d", p.N(), len(p.Cons))
+	}
+	for i := 0; i < 2; i++ {
+		if p.C[i] != 0 || p.Lo[i] != 0 || p.Hi[i] != 0 {
+			t.Fatalf("reset left non-zero state at %d", i)
+		}
+	}
+	// Growing beyond previous capacity must work too.
+	p.Reset(64)
+	if p.N() != 64 {
+		t.Fatalf("reset grow failed: n=%d", p.N())
+	}
+}
+
+// BenchmarkWarmVsCold quantifies the warm-start win on a sizing-shaped LP
+// re-solved with perturbed costs (run with -benchmem: the warm path must
+// be allocation-light).
+func BenchmarkWarmVsCold(b *testing.B) {
+	build := func(n int) *Problem {
+		p := NewProblem(2*n, 0)
+		for i := 0; i < n; i++ {
+			lo := int64(i * 110)
+			hi := lo + 100
+			p.Lo[2*i], p.Hi[2*i] = lo, hi-8
+			p.Lo[2*i+1], p.Hi[2*i+1] = lo+8, hi
+			p.C[2*i+1] = int64(50 + i%17)
+			p.C[2*i] = -p.C[2*i+1]
+			p.AddConstraint(2*i+1, 2*i, 8)
+			if i > 0 {
+				p.AddConstraint(2*i, 2*(i-1)+1, 10)
+			}
+		}
+		return p
+	}
+	for _, n := range []int{50, 200} {
+		p := build(n)
+		b.Run("Cold/n="+itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.C[2*(i%n)+1]++ // perturb like an overlay-cost drift
+				if _, _, err := p.Solve(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		p = build(n)
+		b.Run("Warm/n="+itoa(n), func(b *testing.B) {
+			b.ReportAllocs()
+			s := NewWarmSolver()
+			for i := 0; i < b.N; i++ {
+				p.C[2*(i%n)+1]++
+				if _, _, err := s.Solve(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -3,7 +3,9 @@ package fill
 import (
 	"fmt"
 	"runtime"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"dummyfill/internal/density"
 	"dummyfill/internal/geom"
@@ -45,8 +47,8 @@ func New(lay *layout.Layout, opts Options) (*Engine, error) {
 	if opts.Lambda < 1 {
 		return nil, fmt.Errorf("fill: Lambda must be >= 1, got %v", opts.Lambda)
 	}
-	if opts.Solver == nil {
-		return nil, fmt.Errorf("fill: Options.Solver is required (use DefaultOptions)")
+	if opts.Solver == nil && opts.NewSolver == nil {
+		return nil, fmt.Errorf("fill: Options.Solver or Options.NewSolver is required (use DefaultOptions)")
 	}
 	if opts.MaxSizingPasses < 1 {
 		return nil, fmt.Errorf("fill: MaxSizingPasses must be >= 1, got %d", opts.MaxSizingPasses)
@@ -61,6 +63,10 @@ func New(lay *layout.Layout, opts Options) (*Engine, error) {
 // Run executes the flow: prepare windows → density planning → candidate
 // generation (Alg. 1) → density re-planning → sizing via dual min-cost
 // flow → solution assembly.
+//
+// The result is deterministic regardless of Workers: every parallel stage
+// writes only window-owned state, and the final fill list is assembled in
+// window order and canonically sorted.
 func (e *Engine) Run() (*Result, error) {
 	wins := e.prepareWindows()
 
@@ -73,7 +79,7 @@ func (e *Engine) Run() (*Result, error) {
 	e.applyMinDensity(plan1.Td)
 
 	// Candidate generation under plan-1 guidance.
-	e.forEachWindow(wins, func(w *window) error {
+	e.forEachWindow(wins, func(_ int, w *window) error {
 		w.selectCandidates(e.lay, plan1.Td, e.opts.Lambda, e.opts.Gamma)
 		return nil
 	})
@@ -96,25 +102,43 @@ func (e *Engine) Run() (*Result, error) {
 		uppers[i] = bounds2[i].Upper
 	}
 
-	// Sizing per window.
-	var mu sync.Mutex
-	sol := layout.Solution{}
-	err = e.forEachWindow(wins, func(w *window) error {
-		targets := e.windowTargets(w, plan2.Td)
-		sized, err := sizeWindow(w, e.lay, targets, e.opts)
+	// Sizing per window. Each worker draws a reusable scratch (solver
+	// arena, LP, spatial indexes) from the pool, so a worker's warm-started
+	// solver state flows from window to window.
+	scratchPool := sync.Pool{New: func() any { return newSizeScratch(e.opts) }}
+	sized := make([][]layout.Fill, len(wins))
+	err = e.forEachWindow(wins, func(k int, w *window) error {
+		sc := scratchPool.Get().(*sizeScratch)
+		defer scratchPool.Put(sc)
+		targets := e.windowTargets(w, plan2.Td, sc)
+		cs, err := sizeWindowScratch(w, e.lay, targets, e.opts, sc)
 		if err != nil {
 			return err
 		}
-		mu.Lock()
-		for _, c := range sized {
-			sol.Fills = append(sol.Fills, layout.Fill{Layer: c.layer, Rect: c.rect})
+		if len(cs) == 0 {
+			return nil
 		}
-		mu.Unlock()
+		fills := make([]layout.Fill, len(cs))
+		for i, c := range cs {
+			fills[i] = layout.Fill{Layer: c.layer, Rect: c.rect}
+		}
+		sized[k] = fills
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
+
+	// Deterministic assembly: window order, then canonical geometric order.
+	total := 0
+	for _, fs := range sized {
+		total += len(fs)
+	}
+	sol := layout.Solution{Fills: make([]layout.Fill, 0, total)}
+	for _, fs := range sized {
+		sol.Fills = append(sol.Fills, fs...)
+	}
+	sortFills(sol.Fills)
 
 	return &Result{
 		Solution:     sol,
@@ -124,6 +148,35 @@ func (e *Engine) Run() (*Result, error) {
 		UpperBounds:  uppers,
 		Windows:      len(wins),
 	}, nil
+}
+
+// sortFills orders fills by (layer, YL, XL, YH, XH) — a canonical order
+// independent of worker scheduling and window traversal.
+func sortFills(fills []layout.Fill) {
+	cmp64 := func(a, b int64) int {
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+	slices.SortFunc(fills, func(a, b layout.Fill) int {
+		if a.Layer != b.Layer {
+			return a.Layer - b.Layer
+		}
+		if c := cmp64(a.Rect.YL, b.Rect.YL); c != 0 {
+			return c
+		}
+		if c := cmp64(a.Rect.XL, b.Rect.XL); c != 0 {
+			return c
+		}
+		if c := cmp64(a.Rect.YH, b.Rect.YH); c != 0 {
+			return c
+		}
+		return cmp64(a.Rect.XH, b.Rect.XH)
+	})
 }
 
 // applyMinDensity floors the planned targets at Options.MinDensity.
@@ -170,16 +223,61 @@ func (e *Engine) planWeights() density.PlanWeights {
 	return w
 }
 
+// prepScratch is the per-task scratch of the parallel window preparation.
+type prepScratch struct {
+	clips [][]geom.Rect
+	cnt   []int32
+}
+
+var prepPool = sync.Pool{New: func() any { return new(prepScratch) }}
+
 // prepareWindows clips fill regions and wires into windows and tiles the
 // free regions into candidate cells.
+//
+// The work is sharded per (layer, window-row) stripe: a serial binning
+// pass assigns each shape to the rows it overlaps, then stripe tasks run
+// on the worker pool, each exclusively owning the (window, layer) states
+// of its row. Appends follow input shape order, so the prepared windows
+// are identical to a serial run.
 func (e *Engine) prepareWindows() []*window {
 	nw := e.g.NumWindows()
 	nl := len(e.lay.Layers)
+	nx, ny := e.g.NX, e.g.NY
 	wins := make([]*window, nw)
+	winStore := make([]window, nw)
+	layerStore := make([]winLayer, nw*nl)
 	for k := 0; k < nw; k++ {
-		i, j := k%e.g.NX, k/e.g.NX
-		wins[k] = &window{rect: e.g.Window(i, j), layers: make([]winLayer, nl)}
+		i, j := k%nx, k/nx
+		winStore[k] = window{rect: e.g.Window(i, j), layers: layerStore[k*nl : (k+1)*nl : (k+1)*nl]}
+		wins[k] = &winStore[k]
 	}
+
+	// Serial binning: per layer, the fill-region and wire indices hitting
+	// each window row. Index arithmetic only — no clipping yet.
+	type rowBins struct {
+		free, wire [][]int32
+	}
+	bins := make([]rowBins, nl)
+	for li := range e.lay.Layers {
+		layer := e.lay.Layers[li]
+		bins[li].free = make([][]int32, ny)
+		bins[li].wire = make([][]int32, ny)
+		for si, fr := range layer.FillRegions {
+			if _, j0, _, j1, ok := e.g.CellRange(fr); ok {
+				for j := j0; j <= j1; j++ {
+					bins[li].free[j] = append(bins[li].free[j], int32(si))
+				}
+			}
+		}
+		for si, wr := range layer.Wires {
+			if _, j0, _, j1, ok := e.g.CellRange(wr); ok {
+				for j := j0; j <= j1; j++ {
+					bins[li].wire[j] = append(bins[li].wire[j], int32(si))
+				}
+			}
+		}
+	}
+
 	// Free-region pieces (and hence the cells tiled from them) may abut:
 	// Difference-slab decomposition splits regions into touching slabs and
 	// window clipping cuts regions at window borders. Insetting every
@@ -187,32 +285,79 @@ func (e *Engine) prepareWindows() []*window {
 	// pairwise legal from birth — including across window boundaries,
 	// which the per-window sizing LP could not repair.
 	inset := (e.lay.Rules.MinSpace + 1) / 2
-	for li, layer := range e.lay.Layers {
-		// Free regions per window.
-		for _, fr := range layer.FillRegions {
-			e.g.RangeOverlapping(fr, func(i, j int, clip geom.Rect) {
-				clip = clip.Expand(-inset)
-				if clip.Empty() {
-					return
+
+	// Stripe tasks: task t covers layer t/ny, window row t%ny.
+	e.parallelFor(nl*ny, func(t int) error {
+		li, j := t/ny, t%ny
+		layer := e.lay.Layers[li]
+		sc := prepPool.Get().(*prepScratch)
+		defer prepPool.Put(sc)
+		if cap(sc.clips) < nx {
+			sc.clips = make([][]geom.Rect, nx)
+		}
+		clips := sc.clips[:nx]
+		if cap(sc.cnt) < nx {
+			sc.cnt = make([]int32, nx)
+		}
+		cnt := sc.cnt[:nx]
+		for i := range cnt {
+			cnt[i] = 0
+		}
+
+		// Free regions: count per window, then fill exact-capacity buckets.
+		for _, si := range bins[li].free[j] {
+			if i0, _, i1, _, ok := e.g.CellRange(layer.FillRegions[si]); ok {
+				for i := i0; i <= i1; i++ {
+					cnt[i]++
 				}
-				wl := &wins[j*e.g.NX+i].layers[li]
+			}
+		}
+		for i := 0; i < nx; i++ {
+			if cnt[i] > 0 {
+				wins[j*nx+i].layers[li].free = make([]geom.Rect, 0, cnt[i])
+			}
+		}
+		for _, si := range bins[li].free[j] {
+			fr := layer.FillRegions[si]
+			i0, _, i1, _, ok := e.g.CellRange(fr)
+			if !ok {
+				continue
+			}
+			for i := i0; i <= i1; i++ {
+				clip := fr.Intersect(wins[j*nx+i].rect).Expand(-inset)
+				if clip.Empty() {
+					continue
+				}
+				wl := &wins[j*nx+i].layers[li]
 				wl.free = append(wl.free, clip)
-			})
+			}
 		}
-		// Wire area per window (union-exact).
-		perWin := make(map[int][]geom.Rect)
-		for _, wr := range layer.Wires {
-			e.g.RangeOverlapping(wr, func(i, j int, clip geom.Rect) {
-				k := j*e.g.NX + i
-				perWin[k] = append(perWin[k], clip)
-			})
+
+		// Wire area per window (union-exact), via per-column clip buckets.
+		for _, si := range bins[li].wire[j] {
+			wr := layer.Wires[si]
+			i0, _, i1, _, ok := e.g.CellRange(wr)
+			if !ok {
+				continue
+			}
+			for i := i0; i <= i1; i++ {
+				if c := wr.Intersect(wins[j*nx+i].rect); !c.Empty() {
+					clips[i] = append(clips[i], c)
+				}
+			}
 		}
-		for k, rects := range perWin {
-			wins[k].layers[li].wireArea = geom.UnionArea(rects)
+		for i := 0; i < nx; i++ {
+			if len(clips[i]) > 0 {
+				wins[j*nx+i].layers[li].wireArea = geom.UnionArea(clips[i])
+				clips[i] = clips[i][:0]
+			}
 		}
-	}
+		sc.clips = clips
+		return nil
+	})
+
 	// Tile free regions into candidate cells.
-	e.forEachWindow(wins, func(w *window) error {
+	e.forEachWindow(wins, func(_ int, w *window) error {
 		for li := range w.layers {
 			wl := &w.layers[li]
 			for _, fr := range wl.free {
@@ -260,8 +405,9 @@ func (e *Engine) bounds(wins []*window, selected [][]int64) []density.LayerBound
 // selectedAreas sums the selected candidate area per window per layer.
 func selectedAreas(wins []*window, nl int) [][]int64 {
 	out := make([][]int64, len(wins))
+	flat := make([]int64, len(wins)*nl)
 	for k, w := range wins {
-		out[k] = make([]int64, nl)
+		out[k] = flat[k*nl : (k+1)*nl : (k+1)*nl]
 		for _, c := range w.sel {
 			out[k][c.layer] += c.rect.Area()
 		}
@@ -270,11 +416,14 @@ func selectedAreas(wins []*window, nl int) [][]int64 {
 }
 
 // windowTargets converts the per-layer target densities into per-window
-// target fill areas, clamped to what the window can hold (Eqn. 5).
-func (e *Engine) windowTargets(w *window, td []float64) []int64 {
+// target fill areas, clamped to what the window can hold (Eqn. 5). The
+// returned slice aliases scratch storage.
+func (e *Engine) windowTargets(w *window, td []float64, sc *sizeScratch) []int64 {
 	nl := len(w.layers)
-	out := make([]int64, nl)
-	selArea := make([]int64, nl)
+	out := growI64(sc.targets, nl)
+	sc.targets = out
+	selArea := growI64(sc.selArea, nl)
+	sc.selArea = selArea
 	for _, c := range w.sel {
 		selArea[c.layer] += c.rect.Area()
 	}
@@ -292,50 +441,65 @@ func (e *Engine) windowTargets(w *window, td []float64) []int64 {
 	return out
 }
 
-// forEachWindow applies fn to every window, in parallel across workers.
-// The first error wins; all workers drain.
-func (e *Engine) forEachWindow(wins []*window, fn func(*window) error) error {
+// workerCount resolves the worker-pool size for n independent tasks.
+func (e *Engine) workerCount(n int) int {
 	workers := e.opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(wins) {
-		workers = len(wins)
+	if workers > n {
+		workers = n
 	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// parallelFor runs fn(idx) for every idx in [0,n) across the worker pool.
+// The first error cancels the run promptly: workers observe the stop flag
+// before claiming the next task, so no work is started after a failure,
+// and the first error (by completion order) is returned.
+func (e *Engine) parallelFor(n int, fn func(idx int) error) error {
+	workers := e.workerCount(n)
 	if workers <= 1 {
-		for _, w := range wins {
-			if err := fn(w); err != nil {
+		for idx := 0; idx < n; idx++ {
+			if err := fn(idx); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	var wg sync.WaitGroup
-	work := make(chan *window)
-	errCh := make(chan error, workers)
+	var (
+		next     atomic.Int64
+		stop     atomic.Bool
+		firstErr error
+		once     sync.Once
+		wg       sync.WaitGroup
+	)
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for w := range work {
-				if err := fn(w); err != nil {
-					select {
-					case errCh <- err:
-					default:
-					}
+			for !stop.Load() {
+				idx := int(next.Add(1)) - 1
+				if idx >= n {
+					return
+				}
+				if err := fn(idx); err != nil {
+					once.Do(func() { firstErr = err })
+					stop.Store(true)
+					return
 				}
 			}
 		}()
 	}
-	for _, w := range wins {
-		work <- w
-	}
-	close(work)
 	wg.Wait()
-	select {
-	case err := <-errCh:
-		return err
-	default:
-		return nil
-	}
+	return firstErr
+}
+
+// forEachWindow applies fn to every window, in parallel across workers.
+// The first error wins and cancels outstanding work.
+func (e *Engine) forEachWindow(wins []*window, fn func(k int, w *window) error) error {
+	return e.parallelFor(len(wins), func(k int) error { return fn(k, wins[k]) })
 }

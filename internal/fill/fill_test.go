@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"dummyfill/internal/density"
+	"dummyfill/internal/dlp"
 	"dummyfill/internal/drc"
 	"dummyfill/internal/geom"
 	"dummyfill/internal/layout"
@@ -423,9 +424,20 @@ func TestEngineOptionValidation(t *testing.T) {
 		t.Fatal("λ < 1 must be rejected")
 	}
 	bad = DefaultOptions()
-	bad.Solver = nil
+	bad.Solver, bad.NewSolver = nil, nil
 	if _, err := New(lay, bad); err == nil {
-		t.Fatal("nil solver must be rejected")
+		t.Fatal("nil Solver with nil NewSolver must be rejected")
+	}
+	// Either solver field alone is sufficient.
+	ok := DefaultOptions()
+	ok.Solver, ok.NewSolver = dlp.ViaSSP, nil
+	if _, err := New(lay, ok); err != nil {
+		t.Fatalf("explicit Solver alone must be accepted: %v", err)
+	}
+	ok = DefaultOptions()
+	ok.Solver = nil
+	if _, err := New(lay, ok); err != nil {
+		t.Fatalf("NewSolver alone must be accepted: %v", err)
 	}
 	bad = DefaultOptions()
 	bad.MaxSizingPasses = 0

@@ -288,11 +288,13 @@ func BenchmarkSizeWindow(b *testing.B) {
 	for _, w := range wins {
 		w.selectCandidates(lay, td, 1.15, 1.0)
 	}
+	sc := newSizeScratch(e.opts)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		for _, w := range wins {
-			targets := e.windowTargets(w, td)
-			if _, err := sizeWindow(w, lay, targets, e.opts); err != nil {
+			targets := e.windowTargets(w, td, sc)
+			if _, err := sizeWindowScratch(w, lay, targets, e.opts, sc); err != nil {
 				b.Fatal(err)
 			}
 		}

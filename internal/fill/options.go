@@ -21,11 +21,18 @@ type Options struct {
 	PlanSteps int
 	// MaxSizingPasses bounds the alternating H/V sizing iterations.
 	MaxSizingPasses int
-	// Solver solves the per-direction difference-constraint LPs. Defaults
-	// to the dual min-cost-flow SSP solver (dlp.ViaSSP);
-	// dlp.ViaNetworkSimplex and the dense-simplex dlp.ViaSimplexLP are
-	// drop-in replacements for ablation studies.
+	// Solver solves the per-direction difference-constraint LPs. When set
+	// it overrides NewSolver; dlp.ViaSSP, dlp.ViaNetworkSimplex and the
+	// dense-simplex dlp.ViaSimplexLP are drop-in choices for ablation
+	// studies. Leave nil to use NewSolver (the default).
 	Solver dlp.PSolver
+	// NewSolver supplies a fresh LP solver per worker, letting stateful
+	// solvers carry warm-start state across the windows a worker sizes
+	// without any cross-worker sharing. DefaultOptions uses
+	// dlp.NewWarmSSP, the warm-started dual min-cost-flow solver; a
+	// non-nil Solver takes precedence (it is assumed stateless and safe
+	// for concurrent use).
+	NewSolver func() dlp.PSolver
 	// Workers bounds window-level parallelism (0 = GOMAXPROCS).
 	Workers int
 	// MinDensity is an optional lower density rule: planned targets are
@@ -50,6 +57,15 @@ func DefaultOptions() Options {
 		Eta:             1,
 		PlanSteps:       24,
 		MaxSizingPasses: 6,
-		Solver:          dlp.ViaSSP,
+		NewSolver:       dlp.NewWarmSSP,
 	}
+}
+
+// newSolver resolves the effective per-worker solver: an explicit Solver
+// wins, otherwise a fresh instance from the NewSolver factory.
+func (o Options) newSolver() dlp.PSolver {
+	if o.Solver != nil {
+		return o.Solver
+	}
+	return o.NewSolver()
 }

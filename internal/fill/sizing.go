@@ -3,12 +3,102 @@ package fill
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"dummyfill/internal/dlp"
 	"dummyfill/internal/geom"
 	"dummyfill/internal/layout"
 )
+
+// sizeScratch bundles the reusable per-worker state of window sizing: the
+// LP solver (warm-started across the windows a worker processes when
+// Options.NewSolver is used), the LP arena, the spatial indexes and every
+// per-cell buffer of sizingPass. One worker sizes hundreds of windows over
+// thousands of passes; with the scratch the whole loop performs no
+// steady-state allocation. A sizeScratch is not safe for concurrent use.
+type sizeScratch struct {
+	solve dlp.PSolver
+	p     dlp.Problem
+
+	cells  []cell
+	wireIx []*geom.Index
+	fillIx []*geom.Index
+
+	// Per-layer accumulators.
+	area, surplus, totalCross []int64
+	ovStep, plainStep         []int64
+	acc                       []budgetAcc
+
+	// Per-cell buffers.
+	ov, minDims []int64
+	conflicted  []bool
+	drop        []bool
+	idx         []int
+	targets     []int64
+	selArea     []int64
+}
+
+// budgetAcc accumulates the per-pass shrink-budget classes of one layer.
+type budgetAcc struct {
+	ovCross, plainCross int64 // Σ cross dims by class
+	ovRemovable         int64 // max area the ov class can shed
+}
+
+// newSizeScratch builds a scratch with the solver resolved from opts.
+func newSizeScratch(opts Options) *sizeScratch {
+	return &sizeScratch{solve: opts.newSolver()}
+}
+
+// layerSlices resizes the per-layer buffers to nl layers.
+func (sc *sizeScratch) layerSlices(nl int) {
+	sc.area = growI64(sc.area, nl)
+	sc.surplus = growI64(sc.surplus, nl)
+	sc.totalCross = growI64(sc.totalCross, nl)
+	sc.ovStep = growI64(sc.ovStep, nl)
+	sc.plainStep = growI64(sc.plainStep, nl)
+	if cap(sc.acc) < nl {
+		sc.acc = make([]budgetAcc, nl)
+	}
+	sc.acc = sc.acc[:nl]
+}
+
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func growBool(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// indexes resizes dst to nl indexes over bounds, reusing Index arenas.
+func indexes(dst []*geom.Index, nl int, bounds geom.Rect) []*geom.Index {
+	if cap(dst) < nl {
+		dst = append(dst[:cap(dst)], make([]*geom.Index, nl-cap(dst))...)
+	}
+	dst = dst[:nl]
+	for l := range dst {
+		if dst[l] == nil {
+			dst[l] = geom.NewIndex(bounds, 0)
+		} else {
+			dst[l].Reset(bounds, 0)
+		}
+	}
+	return dst
+}
 
 // sizeWindow shrinks the selected candidates of one window so that each
 // layer's fill area converges to its target area while overlay with
@@ -18,26 +108,35 @@ import (
 // dual min-cost flow (Eqn. 14–16); then the roles swap.
 //
 // targets[l] is the desired fill area (not density) for layer l within
-// this window. Returns the surviving sized fills.
+// this window. Returns the surviving sized fills; the slice aliases
+// scratch storage and is only valid until the next call with the same
+// scratch.
 func sizeWindow(w *window, lay *layout.Layout, targets []int64, opts Options) ([]cell, error) {
+	return sizeWindowScratch(w, lay, targets, opts, newSizeScratch(opts))
+}
+
+// sizeWindowScratch is sizeWindow against caller-owned scratch state.
+func sizeWindowScratch(w *window, lay *layout.Layout, targets []int64, opts Options, sc *sizeScratch) ([]cell, error) {
 	if len(w.sel) == 0 {
 		return nil, nil
 	}
 	rules := lay.Rules
-	cells := make([]cell, len(w.sel))
-	copy(cells, w.sel)
+	cells := append(sc.cells[:0], w.sel...)
+	sc.cells = cells
+
+	nl := len(lay.Layers)
+	sc.layerSlices(nl)
 
 	// Deletion pre-pass: while a layer's selected area exceeds its target
 	// by at least the area of its worst candidate, drop that candidate
 	// entirely. Fewer fills → smaller GDSII, and the sizing LP converges
 	// from a closer starting point.
-	cells = pruneSurplus(cells, targets, len(lay.Layers))
+	cells = pruneSurplusScratch(cells, targets, nl, sc)
 
-	nl := len(lay.Layers)
 	// Wire indexes per layer, window-clipped, reused across passes.
-	wireIx := make([]*geom.Index, nl)
+	sc.wireIx = indexes(sc.wireIx, nl, w.rect)
+	wireIx := sc.wireIx
 	for l := 0; l < nl; l++ {
-		wireIx[l] = geom.NewIndex(w.rect, 0)
 		for _, wr := range lay.Layers[l].Wires {
 			if c := wr.Intersect(w.rect); !c.Empty() {
 				wireIx[l].Insert(c)
@@ -47,20 +146,19 @@ func sizeWindow(w *window, lay *layout.Layout, targets []int64, opts Options) ([
 
 	for pass := 0; pass < opts.MaxSizingPasses; pass++ {
 		horizontal := pass%2 == 0
-		next, changed, err := sizingPass(cells, w, lay, wireIx, targets, horizontal, opts)
+		changed, err := sizingPass(cells, w, lay, targets, horizontal, opts, sc)
 		for dropN := 1; errors.Is(err, dlp.ErrInfeasible); dropN *= 2 {
 			// The spacing chains cannot fit: delete the lowest-quality
 			// conflicted cells, doubling the batch on every retry.
-			cells, err = dropCrowded(cells, dropN, rules)
+			cells, err = dropCrowded(cells, dropN, rules, sc)
 			if err != nil {
 				return nil, err
 			}
-			next, changed, err = sizingPass(cells, w, lay, wireIx, targets, horizontal, opts)
+			changed, err = sizingPass(cells, w, lay, targets, horizontal, opts, sc)
 		}
 		if err != nil {
 			return nil, err
 		}
-		cells = next
 		if !changed && pass >= 2 {
 			break
 		}
@@ -80,18 +178,33 @@ func sizeWindow(w *window, lay *layout.Layout, targets []int64, opts Options) ([
 // pruneSurplus removes lowest-quality cells while a layer remains over
 // target even without them.
 func pruneSurplus(cells []cell, targets []int64, nl int) []cell {
-	area := make([]int64, nl)
+	return pruneSurplusScratch(cells, targets, nl, &sizeScratch{})
+}
+
+func pruneSurplusScratch(cells []cell, targets []int64, nl int, sc *sizeScratch) []cell {
+	area := growI64(sc.area, nl)
+	sc.area = area
 	for _, c := range cells {
 		area[c.layer] += c.rect.Area()
 	}
 	// Sort ascending by quality so the worst are considered first; keep
 	// original order otherwise (stable for determinism).
-	idx := make([]int, len(cells))
-	for i := range idx {
-		idx[i] = i
+	idx := sc.idx[:0]
+	for i := range cells {
+		idx = append(idx, i)
 	}
-	sort.SliceStable(idx, func(a, b int) bool { return cells[idx[a]].quality < cells[idx[b]].quality })
-	drop := make([]bool, len(cells))
+	sc.idx = idx
+	slices.SortStableFunc(idx, func(a, b int) int {
+		switch {
+		case cells[a].quality < cells[b].quality:
+			return -1
+		case cells[a].quality > cells[b].quality:
+			return 1
+		}
+		return 0
+	})
+	drop := growBool(sc.drop, len(cells))
+	sc.drop = drop
 	for _, i := range idx {
 		l := cells[i].layer
 		a := cells[i].rect.Area()
@@ -109,28 +222,29 @@ func pruneSurplus(cells []cell, targets []int64, nl int) []cell {
 	return out
 }
 
-// sizingPass runs one directional LP over all cells in the window.
-func sizingPass(cells []cell, w *window, lay *layout.Layout, wireIx []*geom.Index, targets []int64, horizontal bool, opts Options) ([]cell, bool, error) {
+// sizingPass runs one directional LP over all cells in the window,
+// resizing cells in place on success.
+func sizingPass(cells []cell, w *window, lay *layout.Layout, targets []int64, horizontal bool, opts Options, sc *sizeScratch) (bool, error) {
 	nl := len(lay.Layers)
 	rules := lay.Rules
 	n := len(cells)
 	if n == 0 {
-		return cells, false, nil
+		return false, nil
 	}
 
 	// Current per-layer areas and neighbour-shape indexes (wires + fills
 	// of the adjacent layers) for overlay linearization.
-	area := make([]int64, nl)
-	fillIx := make([]*geom.Index, nl)
-	for l := range fillIx {
-		fillIx[l] = geom.NewIndex(w.rect, 0)
-	}
+	area := growI64(sc.area, nl)
+	sc.area = area
+	sc.fillIx = indexes(sc.fillIx, nl, w.rect)
+	fillIx, wireIx := sc.fillIx, sc.wireIx
 	for _, c := range cells {
 		area[c.layer] += c.rect.Area()
 		fillIx[c.layer].Insert(c.rect)
 	}
-	surplus := make([]int64, nl)
-	totalCross := make([]int64, nl) // Σ of cross dimension per layer
+	surplus := growI64(sc.surplus, nl)
+	totalCross := growI64(sc.totalCross, nl) // Σ of cross dimension per layer
+	sc.surplus, sc.totalCross = surplus, totalCross
 	for l := range surplus {
 		surplus[l] = area[l] - targets[l]
 	}
@@ -143,7 +257,8 @@ func sizingPass(cells []cell, w *window, lay *layout.Layout, wireIx []*geom.Inde
 	}
 
 	// Per-cell overlay with neighbour layers at current geometry.
-	ov := make([]int64, n)
+	ov := growI64(sc.ov, n)
+	sc.ov = ov
 	for i, c := range cells {
 		var o int64
 		if c.layer > 0 {
@@ -158,7 +273,8 @@ func sizingPass(cells []cell, w *window, lay *layout.Layout, wireIx []*geom.Inde
 	// Cells involved in a spacing conflict must retain shrink freedom even
 	// when their layer is under target, or the spacing constraints below
 	// could be infeasible against frozen sizes.
-	conflicted := make([]bool, n)
+	conflicted := growBool(sc.conflicted, n)
+	sc.conflicted = conflicted
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if cells[i].layer != cells[j].layer {
@@ -176,12 +292,12 @@ func sizingPass(cells []cell, w *window, lay *layout.Layout, wireIx []*geom.Inde
 	// and each pass removes at most ≈ the surplus, so fill density cannot
 	// keep drifting away from the target once reached. Overlay-carrying
 	// cells absorb the budget first; plain cells only shed what remains.
-	minDims := make([]int64, n)
-	type budgetAcc struct {
-		ovCross, plainCross int64 // Σ cross dims by class
-		ovRemovable         int64 // max area the ov class can shed
+	minDims := growI64(sc.minDims, n)
+	sc.minDims = minDims
+	acc := sc.acc
+	for l := range acc {
+		acc[l] = budgetAcc{}
 	}
-	acc := make([]budgetAcc, nl)
 	for i, c := range cells {
 		lo, hi, crossDim := edges(c.rect, horizontal)
 		dim := hi - lo
@@ -197,8 +313,9 @@ func sizingPass(cells []cell, w *window, lay *layout.Layout, wireIx []*geom.Inde
 			acc[c.layer].plainCross += crossDim
 		}
 	}
-	ovStep := make([]int64, nl)
-	plainStep := make([]int64, nl)
+	ovStep := growI64(sc.ovStep, nl)
+	plainStep := growI64(sc.plainStep, nl)
+	sc.ovStep, sc.plainStep = ovStep, plainStep
 	for l := 0; l < nl; l++ {
 		s := surplus[l]
 		if s <= 0 {
@@ -219,7 +336,8 @@ func sizingPass(cells []cell, w *window, lay *layout.Layout, wireIx []*geom.Inde
 
 	// Build the difference-constraint LP: two variables per cell (low and
 	// high edge in the active direction).
-	p := dlp.NewProblem(2*n, 0)
+	p := &sc.p
+	p.Reset(2 * n)
 	for i, c := range cells {
 		lo, hi, crossDim := edges(c.rect, horizontal)
 		dim := hi - lo
@@ -281,9 +399,8 @@ func sizingPass(cells []cell, w *window, lay *layout.Layout, wireIx []*geom.Inde
 	}
 
 	// Spacing constraints between same-layer cells that are close in the
-	// cross direction and separable in the active direction.
-	type pairKey struct{ a, b int }
-	seen := map[pairKey]bool{}
+	// cross direction and separable in the active direction. Each
+	// unordered pair is visited exactly once, so no dedup is needed.
 	spacingPairs := 0
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
@@ -314,11 +431,6 @@ func sizingPass(cells []cell, w *window, lay *layout.Layout, wireIx []*geom.Inde
 			if !sep {
 				continue // the other pass will separate this pair
 			}
-			k := pairKey{lowIdx, highIdx}
-			if seen[k] {
-				continue
-			}
-			seen[k] = true
 			// low edge of the right/top cell minus high edge of the
 			// left/bottom cell ≥ MinSpace.
 			p.AddConstraint(2*highIdx, 2*lowIdx+1, rules.MinSpace)
@@ -326,32 +438,30 @@ func sizingPass(cells []cell, w *window, lay *layout.Layout, wireIx []*geom.Inde
 		}
 	}
 
-	x, _, err := opts.Solver(p)
+	x, _, err := sc.solve(p)
 	if err != nil {
 		if errors.Is(err, dlp.ErrInfeasible) && spacingPairs > 0 {
 			// The spacing chain cannot fit within the shrink bounds; the
 			// caller deletes crowded cells and retries.
-			return nil, false, err
+			return false, err
 		}
-		return nil, false, fmt.Errorf("fill: sizing LP failed: %w", err)
+		return false, fmt.Errorf("fill: sizing LP failed: %w", err)
 	}
 
 	changed := false
-	out := make([]cell, n)
-	for i, c := range cells {
-		r := c.rect
+	for i := range cells {
+		r := cells[i].rect
 		if horizontal {
 			r.XL, r.XH = x[2*i], x[2*i+1]
 		} else {
 			r.YL, r.YH = x[2*i], x[2*i+1]
 		}
-		if r != c.rect {
+		if r != cells[i].rect {
 			changed = true
+			cells[i].rect = r
 		}
-		c.rect = r
-		out[i] = c
 	}
-	return out, changed, nil
+	return changed, nil
 }
 
 // edges extracts the (low, high) edges in the active direction and the
@@ -376,9 +486,9 @@ func minDimFor(rules layout.Rules, cross int64) int64 {
 }
 
 // dropCrowded deletes the dropN lowest-quality cells that participate in
-// a spacing conflict.
-func dropCrowded(cells []cell, dropN int, rules layout.Rules) ([]cell, error) {
-	var conflictIdx []int
+// a spacing conflict (ties broken by index for determinism).
+func dropCrowded(cells []cell, dropN int, rules layout.Rules, sc *sizeScratch) ([]cell, error) {
+	conflictIdx := sc.idx[:0]
 	for i := range cells {
 		for j := range cells {
 			if i == j || cells[i].layer != cells[j].layer {
@@ -391,20 +501,28 @@ func dropCrowded(cells []cell, dropN int, rules layout.Rules) ([]cell, error) {
 			}
 		}
 	}
+	sc.idx = conflictIdx
 	if len(conflictIdx) == 0 {
 		return nil, fmt.Errorf("fill: sizing infeasible with no spacing conflicts")
 	}
-	sort.Slice(conflictIdx, func(a, b int) bool {
-		return cells[conflictIdx[a]].quality < cells[conflictIdx[b]].quality
+	slices.SortFunc(conflictIdx, func(a, b int) int {
+		switch {
+		case cells[a].quality < cells[b].quality:
+			return -1
+		case cells[a].quality > cells[b].quality:
+			return 1
+		}
+		return a - b
 	})
 	if dropN > len(conflictIdx) {
 		dropN = len(conflictIdx)
 	}
-	drop := make(map[int]bool, dropN)
+	drop := growBool(sc.drop, len(cells))
+	sc.drop = drop
 	for _, i := range conflictIdx[:dropN] {
 		drop[i] = true
 	}
-	next := make([]cell, 0, len(cells)-dropN)
+	next := cells[:0]
 	for i, c := range cells {
 		if !drop[i] {
 			next = append(next, c)

@@ -2,7 +2,9 @@ package geom
 
 // Index is a uniform-grid spatial index over rectangles, used for overlap
 // and spacing-neighbour queries during candidate generation and DRC.
-// The zero value is not usable; construct with NewIndex.
+// The zero value is not usable; construct with NewIndex. An Index is not
+// safe for concurrent use (queries mutate the epoch stamps and scratch
+// buffer); give each worker its own.
 type Index struct {
 	bounds Rect
 	cell   int64
@@ -13,11 +15,23 @@ type Index struct {
 	// allocating per call.
 	stamp []int32
 	epoch int32
+	// scratch backs OverlapArea's piece list across calls.
+	scratch []Rect
 }
 
 // NewIndex builds an index over bounds with the given cell size. A cell
 // size of 0 picks a default that targets a handful of rects per bin.
 func NewIndex(bounds Rect, cell int64) *Index {
+	ix := &Index{}
+	ix.Reset(bounds, cell)
+	return ix
+}
+
+// Reset reinitializes the index over new bounds, dropping all rectangles
+// while keeping the allocated bin and rect storage. Callers that build an
+// index per sizing pass reuse one Index via Reset instead of paying a
+// fresh NewIndex each time.
+func (ix *Index) Reset(bounds Rect, cell int64) {
 	if bounds.Empty() {
 		bounds = R(0, 0, 1, 1)
 	}
@@ -32,13 +46,17 @@ func NewIndex(bounds Rect, cell int64) *Index {
 	if ny < 1 {
 		ny = 1
 	}
-	return &Index{
-		bounds: bounds,
-		cell:   cell,
-		nx:     nx,
-		ny:     ny,
-		bins:   make([][]int32, nx*ny),
+	ix.bounds, ix.cell, ix.nx, ix.ny = bounds, cell, nx, ny
+	if need := nx * ny; cap(ix.bins) < need {
+		ix.bins = make([][]int32, need)
+	} else {
+		ix.bins = ix.bins[:need]
+		for i := range ix.bins {
+			ix.bins[i] = ix.bins[i][:0]
+		}
 	}
+	ix.rects = ix.rects[:0]
+	ix.stamp = ix.stamp[:0]
 }
 
 // Len returns the number of rectangles inserted.
@@ -115,11 +133,12 @@ func (ix *Index) Query(q Rect, fn func(id int, r Rect) bool) {
 // OverlapArea returns the total area of q covered by indexed rectangles,
 // counting overlaps once.
 func (ix *Index) OverlapArea(q Rect) int64 {
-	var pieces []Rect
+	pieces := ix.scratch[:0]
 	ix.Query(q, func(_ int, r Rect) bool {
 		pieces = append(pieces, r.Intersect(q))
 		return true
 	})
+	ix.scratch = pieces
 	return UnionArea(pieces)
 }
 

@@ -1,56 +1,114 @@
 package geom
 
-import "sort"
+import (
+	"slices"
+	"sync"
+)
 
 // This file implements scanline boolean operations over sets of (possibly
 // overlapping) rectangles: exact union area, union decomposition into
 // disjoint maximal horizontal slabs, difference (free-space extraction),
 // and pairwise intersection of two rectangle sets.
+//
+// These run in the innermost loops of candidate generation and density
+// accounting, so they are written for zero steady-state allocation: event
+// lists, interval buffers and open-slab stacks live in sync.Pool-backed
+// scratch arenas, and the x-coverage structure maintains its sorted
+// interval list by splicing instead of re-sorting on every update.
+
+// sweepEvent is a horizontal-edge event of the y-sweep.
+type sweepEvent struct {
+	y      int64
+	xl, xh int64
+	delta  int // +1 open, -1 close
+}
+
+// openSlab tracks a rectangle currently being extended vertically while
+// sweeping.
+type openSlab struct {
+	xl, xh, yl int64
+}
+
+// sweepScratch bundles the reusable buffers of one union sweep. Instances
+// ping-pong through sweepPool so concurrent sweeps never share state.
+type sweepScratch struct {
+	evs        []sweepEvent
+	cov        coverage
+	prev, curr []covIval
+	open       []openSlab
+	pieces     []Rect
+}
+
+var sweepPool = sync.Pool{New: func() any { return new(sweepScratch) }}
+
+// buildEvents fills sc.evs with the open/close events of rects, sorted by
+// y, and returns the slice (empty if every rect is empty).
+func (sc *sweepScratch) buildEvents(rects []Rect) []sweepEvent {
+	evs := sc.evs[:0]
+	for _, r := range rects {
+		if r.Empty() {
+			continue
+		}
+		evs = append(evs,
+			sweepEvent{r.YL, r.XL, r.XH, +1},
+			sweepEvent{r.YH, r.XL, r.XH, -1})
+	}
+	slices.SortFunc(evs, func(a, b sweepEvent) int {
+		switch {
+		case a.y < b.y:
+			return -1
+		case a.y > b.y:
+			return 1
+		}
+		return 0
+	})
+	sc.evs = evs
+	return evs
+}
 
 // UnionArea returns the exact area covered by the union of rects,
 // counting overlapping regions once. It runs a y-sweep with an x-interval
 // coverage structure in O(n log n + n·k) where k is the active set size.
 func UnionArea(rects []Rect) int64 {
-	type event struct {
-		y      int64
-		xl, xh int64
-		delta  int // +1 open, -1 close
-	}
-	evs := make([]event, 0, 2*len(rects))
-	for _, r := range rects {
-		if r.Empty() {
-			continue
-		}
-		evs = append(evs, event{r.YL, r.XL, r.XH, +1})
-		evs = append(evs, event{r.YH, r.XL, r.XH, -1})
-	}
-	if len(evs) == 0 {
+	// Fast paths for the tiny inputs that dominate per-cell overlay
+	// queries: no sweep, no scratch checkout.
+	switch len(rects) {
+	case 0:
 		return 0
+	case 1:
+		return rects[0].Area()
+	case 2:
+		return rects[0].Area() + rects[1].Area() - rects[0].Intersect(rects[1]).Area()
 	}
-	sort.Slice(evs, func(i, j int) bool { return evs[i].y < evs[j].y })
-
-	var cov coverage
+	sc := sweepPool.Get().(*sweepScratch)
+	evs := sc.buildEvents(rects)
 	var area int64
-	prevY := evs[0].y
-	for i := 0; i < len(evs); {
-		y := evs[i].y
-		area += cov.total() * (y - prevY)
-		for i < len(evs) && evs[i].y == y {
-			cov.update(evs[i].xl, evs[i].xh, evs[i].delta)
-			i++
+	if len(evs) > 0 {
+		cov := &sc.cov
+		cov.reset()
+		prevY := evs[0].y
+		for i := 0; i < len(evs); {
+			y := evs[i].y
+			area += cov.total() * (y - prevY)
+			for i < len(evs) && evs[i].y == y {
+				cov.update(evs[i].xl, evs[i].xh, evs[i].delta)
+				i++
+			}
+			prevY = y
 		}
-		prevY = y
 	}
+	sweepPool.Put(sc)
 	return area
 }
 
-// coverage maintains multiset interval coverage on the x axis using a
-// boundary-count representation. It is rebuilt lazily: points holds sorted
-// unique x boundaries and counts[i] is the coverage of [points[i],
-// points[i+1]). For the workloads here (per-window shape counts in the
-// hundreds) the simple representation is faster than a segment tree.
+// coverage maintains multiset interval coverage on the x axis as a sorted
+// list of disjoint intervals with positive counts. update splices the
+// affected range in place (binary search + single rebuild into a
+// ping-pong buffer), so a sweep performs no sorting and no allocation
+// once the two buffers have grown to the working-set size.
 type coverage struct {
 	ivals []covIval
+	buf   []covIval
 }
 
 type covIval struct {
@@ -58,180 +116,125 @@ type covIval struct {
 	n      int
 }
 
+func (c *coverage) reset() { c.ivals = c.ivals[:0] }
+
+// update adds delta to the coverage count of [xl,xh). Intervals whose
+// count reaches zero are dropped; callers only ever close ranges they
+// previously opened, so counts never go negative.
 func (c *coverage) update(xl, xh int64, delta int) {
 	if xl >= xh {
 		return
 	}
-	// Split existing intervals at xl and xh, then adjust counts.
-	c.split(xl)
-	c.split(xh)
-	out := c.ivals[:0]
-	inserted := false
-	for _, iv := range c.ivals {
-		if iv.xl >= xl && iv.xh <= xh {
-			iv.n += delta
-			inserted = true
-		}
-		if iv.n != 0 || true { // keep zero intervals; merged below
-			out = append(out, iv)
+	ivals := c.ivals
+	// First interval that ends after xl: everything before it is
+	// untouched.
+	lo, hi := 0, len(ivals)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ivals[mid].xh <= xl {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	c.ivals = out
-	if delta > 0 {
-		// Cover any gaps within [xl,xh) not represented yet.
-		c.fillGaps(xl, xh, delta)
-		inserted = true
-	}
-	_ = inserted
-	c.normalize()
-}
-
-// split ensures x is a boundary of the interval list.
-func (c *coverage) split(x int64) {
-	for i, iv := range c.ivals {
-		if iv.xl < x && x < iv.xh {
-			rest := covIval{x, iv.xh, iv.n}
-			c.ivals[i].xh = x
-			c.ivals = append(c.ivals, covIval{})
-			copy(c.ivals[i+2:], c.ivals[i+1:])
-			c.ivals[i+1] = rest
-			return
-		}
-	}
-}
-
-// fillGaps inserts intervals with count delta for any sub-ranges of
-// [xl,xh) not currently present.
-func (c *coverage) fillGaps(xl, xh int64, delta int) {
-	var gaps []covIval
+	buf := append(c.buf[:0], ivals[:lo]...)
 	cur := xl
-	for _, iv := range c.ivals {
-		if iv.xh <= xl || iv.xl >= xh {
-			continue
-		}
+	i := lo
+	for ; i < len(ivals) && ivals[i].xl < xh; i++ {
+		iv := ivals[i]
 		if iv.xl > cur {
-			gaps = append(gaps, covIval{cur, iv.xl, delta})
+			// Gap [cur, iv.xl) inside the update range.
+			if delta > 0 {
+				buf = append(buf, covIval{cur, iv.xl, delta})
+			}
+			cur = iv.xl
+		} else if iv.xl < cur {
+			// Left part of iv sticks out before xl: keep its count.
+			buf = append(buf, covIval{iv.xl, cur, iv.n})
 		}
-		if iv.xh > cur {
-			cur = iv.xh
+		mid := min64(iv.xh, xh)
+		if cur < mid {
+			if n := iv.n + delta; n != 0 {
+				buf = append(buf, covIval{cur, mid, n})
+			}
+			cur = mid
+		}
+		if iv.xh > xh {
+			// Right part sticks out past xh: keep its count.
+			buf = append(buf, covIval{xh, iv.xh, iv.n})
 		}
 	}
-	if cur < xh {
-		gaps = append(gaps, covIval{cur, xh, delta})
+	if cur < xh && delta > 0 {
+		buf = append(buf, covIval{cur, xh, delta})
 	}
-	c.ivals = append(c.ivals, gaps...)
-}
-
-// normalize sorts intervals, drops zero-count zero-width entries and merges
-// adjacent intervals with equal counts.
-func (c *coverage) normalize() {
-	sort.Slice(c.ivals, func(i, j int) bool { return c.ivals[i].xl < c.ivals[j].xl })
-	out := c.ivals[:0]
-	for _, iv := range c.ivals {
-		if iv.xl >= iv.xh || iv.n == 0 {
-			continue
-		}
-		if n := len(out); n > 0 && out[n-1].xh == iv.xl && out[n-1].n == iv.n {
-			out[n-1].xh = iv.xh
-			continue
-		}
-		out = append(out, iv)
-	}
-	c.ivals = out
+	buf = append(buf, ivals[i:]...)
+	c.ivals, c.buf = buf, ivals
 }
 
 // total returns the covered length (count > 0).
 func (c *coverage) total() int64 {
 	var t int64
 	for _, iv := range c.ivals {
-		if iv.n > 0 {
-			t += iv.xh - iv.xl
-		}
+		t += iv.xh - iv.xl
 	}
 	return t
 }
 
-// covered returns the sorted disjoint x-intervals with positive coverage.
-func (c *coverage) covered() []covIval {
-	out := make([]covIval, 0, len(c.ivals))
+// coveredInto appends the sorted disjoint x-intervals with positive
+// coverage to dst[:0], merging touching neighbours.
+func (c *coverage) coveredInto(dst []covIval) []covIval {
+	dst = dst[:0]
 	for _, iv := range c.ivals {
-		if iv.n > 0 {
-			if n := len(out); n > 0 && out[n-1].xh == iv.xl {
-				out[n-1].xh = iv.xh
-				continue
-			}
-			out = append(out, covIval{iv.xl, iv.xh, 1})
+		if n := len(dst); n > 0 && dst[n-1].xh == iv.xl {
+			dst[n-1].xh = iv.xh
+			continue
 		}
+		dst = append(dst, covIval{iv.xl, iv.xh, 1})
 	}
-	return out
+	return dst
 }
 
 // UnionSlabs decomposes the union of rects into disjoint rectangles
 // (maximal horizontal slabs). The output rectangles are non-overlapping
 // and their total area equals UnionArea(rects).
 func UnionSlabs(rects []Rect) []Rect {
-	type event struct {
-		y      int64
-		xl, xh int64
-		delta  int
-	}
-	evs := make([]event, 0, 2*len(rects))
-	for _, r := range rects {
-		if r.Empty() {
-			continue
-		}
-		evs = append(evs, event{r.YL, r.XL, r.XH, +1})
-		evs = append(evs, event{r.YH, r.XL, r.XH, -1})
-	}
+	sc := sweepPool.Get().(*sweepScratch)
+	evs := sc.buildEvents(rects)
 	if len(evs) == 0 {
+		sweepPool.Put(sc)
 		return nil
 	}
-	sort.Slice(evs, func(i, j int) bool { return evs[i].y < evs[j].y })
-
-	var cov coverage
+	cov := &sc.cov
+	cov.reset()
 	var out []Rect
-	// open[i] tracks a slab currently being extended vertically.
-	type openSlab struct {
-		xl, xh, yl int64
-	}
-	var open []openSlab
-	prevY := evs[0].y
+	open := sc.open[:0]
+	prev, curr := sc.prev[:0], sc.curr[:0]
 	for i := 0; i < len(evs); {
 		y := evs[i].y
-		if y > prevY {
-			// nothing: slabs extend implicitly
-		}
-		before := cov.covered()
 		for i < len(evs) && evs[i].y == y {
 			cov.update(evs[i].xl, evs[i].xh, evs[i].delta)
 			i++
 		}
-		after := cov.covered()
-		if !sameIvals(before, after) {
-			// Close all open slabs at y, open new ones from 'after'.
+		curr = cov.coveredInto(curr)
+		if !sameIvals(prev, curr) {
+			// Close all open slabs at y, open new ones from curr.
 			for _, s := range open {
 				if y > s.yl {
 					out = append(out, Rect{s.xl, s.yl, s.xh, y})
 				}
 			}
 			open = open[:0]
-			for _, iv := range after {
+			for _, iv := range curr {
 				open = append(open, openSlab{iv.xl, iv.xh, y})
 			}
-		}
-		prevY = y
-	}
-	for _, s := range open {
-		// Should be empty at the end (all rects closed); guard anyway.
-		out = append(out, Rect{s.xl, s.yl, s.xh, prevY})
-	}
-	res := out[:0]
-	for _, r := range out {
-		if !r.Empty() {
-			res = append(res, r)
+			prev, curr = curr, prev
 		}
 	}
-	return res
+	// All rects are closed by their own close event, so the active set is
+	// empty here and nothing is left open.
+	sc.open, sc.prev, sc.curr = open, prev, curr
+	sweepPool.Put(sc)
+	return out
 }
 
 func sameIvals(a, b []covIval) bool {
@@ -246,6 +249,19 @@ func sameIvals(a, b []covIval) bool {
 	return true
 }
 
+// diffScratch bundles the reusable buffers of one Difference call.
+type diffScratch struct {
+	clipped []Rect
+	ys      []int64
+	xs      []covIval
+	free    []covIval
+	prev    []covIval
+	open    []openSlab
+	holesT  []Rect
+}
+
+var diffPool = sync.Pool{New: func() any { return new(diffScratch) }}
+
 // Difference returns window minus the union of holes, decomposed into
 // disjoint rectangles (horizontal slabs). This is the free-space
 // extraction primitive used to derive feasible fill regions.
@@ -253,33 +269,34 @@ func Difference(window Rect, holes []Rect) []Rect {
 	if window.Empty() {
 		return nil
 	}
-	clipped := make([]Rect, 0, len(holes))
+	sc := diffPool.Get().(*diffScratch)
+	clipped := sc.clipped[:0]
 	for _, h := range holes {
 		c := h.Intersect(window)
 		if !c.Empty() {
 			clipped = append(clipped, c)
 		}
 	}
+	sc.clipped = clipped
 	if len(clipped) == 0 {
+		diffPool.Put(sc)
 		return []Rect{window}
 	}
 	// Sweep rows between consecutive y boundaries; in each row compute the
 	// complement of covered x-intervals, merging vertically-contiguous
 	// identical rows into taller slabs.
-	ys := make([]int64, 0, 2*len(clipped)+2)
+	ys := sc.ys[:0]
 	ys = append(ys, window.YL, window.YH)
 	for _, h := range clipped {
 		ys = append(ys, h.YL, h.YH)
 	}
-	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+	slices.Sort(ys)
 	ys = dedup64(ys)
+	sc.ys = ys
 
-	type openSlab struct {
-		xl, xh, yl int64
-	}
-	var open []openSlab
+	open := sc.open[:0]
+	prevFree := sc.prev[:0]
 	var out []Rect
-	var prevFree []covIval
 	flush := func(y int64, free []covIval) {
 		if sameIvals(prevFree, free) {
 			return
@@ -301,15 +318,24 @@ func Difference(window Rect, holes []Rect) []Rect {
 			continue
 		}
 		// x-intervals covered by holes in this row.
-		var xs []covIval
+		xs := sc.xs[:0]
 		for _, h := range clipped {
 			if h.YL <= yl && h.YH >= yh {
 				xs = append(xs, covIval{h.XL, h.XH, 1})
 			}
 		}
-		sort.Slice(xs, func(a, b int) bool { return xs[a].xl < xs[b].xl })
+		slices.SortFunc(xs, func(a, b covIval) int {
+			switch {
+			case a.xl < b.xl:
+				return -1
+			case a.xl > b.xl:
+				return 1
+			}
+			return 0
+		})
+		sc.xs = xs
 		// Complement within window x-range.
-		var free []covIval
+		free := sc.free[:0]
 		cur := window.XL
 		for _, iv := range xs {
 			if iv.xl > cur {
@@ -322,9 +348,12 @@ func Difference(window Rect, holes []Rect) []Rect {
 		if cur < window.XH {
 			free = append(free, covIval{cur, window.XH, 1})
 		}
+		sc.free = free
 		flush(yl, free)
 	}
 	flush(window.YH, nil)
+	sc.open, sc.prev = open, prevFree
+	diffPool.Put(sc)
 	return out
 }
 
@@ -354,7 +383,19 @@ func TransposeRects(rs []Rect) []Rect {
 // (maximal-height) slabs instead of horizontal ones. For free-space
 // extraction around vertical wires this yields far fewer, fatter pieces.
 func DifferenceVert(window Rect, holes []Rect) []Rect {
-	return TransposeRects(Difference(window.Transpose(), TransposeRects(holes)))
+	sc := diffPool.Get().(*diffScratch)
+	ht := sc.holesT[:0]
+	for _, h := range holes {
+		ht = append(ht, h.Transpose())
+	}
+	sc.holesT = ht
+	out := Difference(window.Transpose(), ht)
+	diffPool.Put(sc)
+	// out is freshly allocated by Difference, so transpose in place.
+	for i := range out {
+		out[i] = out[i].Transpose()
+	}
+	return out
 }
 
 // DifferenceOriented picks the slab orientation: vertical=true yields
@@ -373,7 +414,8 @@ func IntersectSets(a, b []Rect) []Rect {
 	// Compute pairwise intersections then take their union decomposition
 	// to remove double counting. Pairwise cost is acceptable at window
 	// granularity; a sweep would be used for full-chip scale.
-	var pieces []Rect
+	sc := sweepPool.Get().(*sweepScratch)
+	pieces := sc.pieces[:0]
 	for _, ra := range a {
 		for _, rb := range b {
 			c := ra.Intersect(rb)
@@ -382,16 +424,22 @@ func IntersectSets(a, b []Rect) []Rect {
 			}
 		}
 	}
+	sc.pieces = pieces
+	var out []Rect
 	if len(pieces) <= 1 {
-		return pieces
+		out = append(out, pieces...)
+	} else {
+		out = UnionSlabs(pieces)
 	}
-	return UnionSlabs(pieces)
+	sweepPool.Put(sc)
+	return out
 }
 
 // OverlapAreaSets returns the area of the intersection of the unions of a
 // and b.
 func OverlapAreaSets(a, b []Rect) int64 {
-	var pieces []Rect
+	sc := sweepPool.Get().(*sweepScratch)
+	pieces := sc.pieces[:0]
 	for _, ra := range a {
 		for _, rb := range b {
 			c := ra.Intersect(rb)
@@ -400,7 +448,10 @@ func OverlapAreaSets(a, b []Rect) int64 {
 			}
 		}
 	}
-	return UnionArea(pieces)
+	sc.pieces = pieces
+	area := UnionArea(pieces)
+	sweepPool.Put(sc)
+	return area
 }
 
 // BoundingBox returns the bounding box of rects (empty Rect if none).

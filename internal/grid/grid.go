@@ -67,17 +67,30 @@ func (g *Grid) Locate(p geom.Point) (i, j int) {
 	return
 }
 
+// CellRange returns the inclusive window index ranges [i0,i1]×[j0,j1]
+// overlapped by r; ok is false when r misses the die entirely. It is the
+// index arithmetic of RangeOverlapping exposed for callers that shard
+// work by window row or column.
+func (g *Grid) CellRange(r geom.Rect) (i0, j0, i1, j1 int, ok bool) {
+	r = r.Intersect(g.Die)
+	if r.Empty() {
+		return 0, 0, 0, 0, false
+	}
+	i0 = int((r.XL - g.Die.XL) / g.W)
+	j0 = int((r.YL - g.Die.YL) / g.W)
+	i1 = int((r.XH - 1 - g.Die.XL) / g.W)
+	j1 = int((r.YH - 1 - g.Die.YL) / g.W)
+	return i0, j0, i1, j1, true
+}
+
 // RangeOverlapping calls fn(i, j, clip) for every window overlapping r,
 // where clip is the part of r inside window (i,j).
 func (g *Grid) RangeOverlapping(r geom.Rect, fn func(i, j int, clip geom.Rect)) {
-	r = r.Intersect(g.Die)
-	if r.Empty() {
+	i0, j0, i1, j1, ok := g.CellRange(r)
+	if !ok {
 		return
 	}
-	i0 := int((r.XL - g.Die.XL) / g.W)
-	j0 := int((r.YL - g.Die.YL) / g.W)
-	i1 := int((r.XH - 1 - g.Die.XL) / g.W)
-	j1 := int((r.YH - 1 - g.Die.YL) / g.W)
+	r = r.Intersect(g.Die)
 	for j := j0; j <= j1; j++ {
 		for i := i0; i <= i1; i++ {
 			w := g.Window(i, j)

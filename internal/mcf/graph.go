@@ -43,6 +43,22 @@ func (g *Graph) N() int { return len(g.supply) }
 // M returns the arc count.
 func (g *Graph) M() int { return len(g.arcs) }
 
+// Reset reinitializes g to n nodes with zero supplies and no arcs,
+// reusing the underlying storage. It lets a caller that rebuilds similar
+// problems repeatedly (e.g. one per sizing pass) keep a graph arena alive
+// instead of allocating a fresh Graph each time.
+func (g *Graph) Reset(n int) {
+	if cap(g.supply) < n {
+		g.supply = make([]int64, n)
+	} else {
+		g.supply = g.supply[:n]
+		for i := range g.supply {
+			g.supply[i] = 0
+		}
+	}
+	g.arcs = g.arcs[:0]
+}
+
 // AddNode appends a node with zero supply and returns its id.
 func (g *Graph) AddNode() int {
 	g.supply = append(g.supply, 0)

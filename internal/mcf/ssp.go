@@ -3,180 +3,29 @@ package mcf
 import "math"
 
 // SolveSSP solves the min-cost flow problem with the successive shortest
-// path algorithm. Shortest paths are computed with SPFA (queue-based
-// Bellman-Ford), so negative arc costs are handled without an initial
-// potential transformation. Negative cycles reachable along residual
-// capacity are detected and reported as ErrUnbounded.
+// path algorithm. It is a convenience wrapper over Workspace.SolveSSP with
+// a fresh workspace and no warm start: node potentials are initialized
+// once with SPFA (queue-based Bellman-Ford, so negative arc costs need no
+// pre-transformation), negative residual cycles are cancelled (or reported
+// as ErrUnbounded when uncapacitated), and every augmentation then runs
+// Dijkstra over reduced costs.
 //
-// Complexity is O(F · n · m) worst case where F is the number of
-// augmentations; the window-sized instances produced by the fill engine
-// (tens to a few thousand nodes) solve in microseconds to milliseconds.
+// Callers solving many related instances should hold a Workspace and call
+// its SolveSSP directly: the arena and potentials carry over, making the
+// steady-state solve allocation-free and often Bellman-Ford-free.
 func (g *Graph) SolveSSP() (*Result, error) {
-	if err := g.checkBalance(); err != nil {
+	var ws Workspace
+	out := &Result{}
+	if err := ws.SolveSSP(g, false, out); err != nil {
 		return nil, err
 	}
-	n := len(g.supply)
-	m := len(g.arcs)
-
-	// Residual representation: arc i has forward residual res[2i] and
-	// backward residual res[2i+1]; costs negate on the backward side.
-	res := make([]int64, 2*m)
-	head := make([]int, 2*m) // target node
-	cost := make([]int64, 2*m)
-	first := make([]int, n)
-	next := make([]int, 2*m)
-	for i := range first {
-		first[i] = -1
-	}
-	for i, a := range g.arcs {
-		f, b := 2*i, 2*i+1
-		res[f], res[b] = a.Cap, 0
-		head[f], head[b] = a.To, a.From
-		cost[f], cost[b] = a.Cost, -a.Cost
-		next[f] = first[a.From]
-		first[a.From] = f
-		next[b] = first[a.To]
-		first[a.To] = b
-	}
-
-	excess := make([]int64, n)
-	copy(excess, g.supply)
-
-	// Phase 1: cancel negative residual cycles so the zero-excess part of
-	// the flow is optimal; successive shortest-path augmentation then
-	// preserves the no-negative-cycle invariant. A negative cycle whose
-	// bottleneck is the "infinite" capacity means the problem is unbounded.
-	if err := cancelNegativeCycles(n, first, next, head, cost, res); err != nil {
-		return nil, err
-	}
-
-	dist := make([]int64, n)
-	inQueue := make([]bool, n)
-	relaxCnt := make([]int, n)
-	prevArc := make([]int, n)
-
-	// cancelNegativeCycles removes any negative-cost residual cycle by
-	// saturating it; with InfCap arcs a negative cycle means the LP is
-	// unbounded, so detect and bail.
-	spfa := func(src int) ([]int64, []int, error) {
-		for i := range dist {
-			dist[i] = math.MaxInt64
-			inQueue[i] = false
-			relaxCnt[i] = 0
-			prevArc[i] = -1
-		}
-		dist[src] = 0
-		queue := make([]int, 0, n)
-		queue = append(queue, src)
-		inQueue[src] = true
-		for len(queue) > 0 {
-			u := queue[0]
-			queue = queue[1:]
-			inQueue[u] = false
-			du := dist[u]
-			for e := first[u]; e != -1; e = next[e] {
-				if res[e] <= 0 {
-					continue
-				}
-				v := head[e]
-				nd := du + cost[e]
-				if nd < dist[v] {
-					dist[v] = nd
-					prevArc[v] = e
-					if !inQueue[v] {
-						relaxCnt[v]++
-						if relaxCnt[v] > n+1 {
-							return nil, nil, ErrUnbounded
-						}
-						queue = append(queue, v)
-						inQueue[v] = true
-					}
-				}
-			}
-		}
-		d := make([]int64, n)
-		p := make([]int, n)
-		copy(d, dist)
-		copy(p, prevArc)
-		return d, p, nil
-	}
-
-	flowLeft := func() (src int, ok bool) {
-		for i, e := range excess {
-			if e > 0 {
-				return i, true
-			}
-		}
-		return 0, false
-	}
-
-	for {
-		src, ok := flowLeft()
-		if !ok {
-			break
-		}
-		d, p, err := spfa(src)
-		if err != nil {
-			return nil, err
-		}
-		// Pick the reachable deficit node with the smallest distance so
-		// each augmentation is a true shortest path.
-		sink := -1
-		for i := range excess {
-			if excess[i] < 0 && d[i] < math.MaxInt64 {
-				if sink == -1 || d[i] < d[sink] {
-					sink = i
-				}
-			}
-		}
-		if sink == -1 {
-			return nil, ErrInfeasible
-		}
-		// Bottleneck along the path.
-		amt := excess[src]
-		if -excess[sink] < amt {
-			amt = -excess[sink]
-		}
-		for v := sink; v != src; {
-			e := p[v]
-			if res[e] < amt {
-				amt = res[e]
-			}
-			v = head[e^1]
-		}
-		for v := sink; v != src; {
-			e := p[v]
-			res[e] -= amt
-			res[e^1] += amt
-			v = head[e^1]
-		}
-		excess[src] -= amt
-		excess[sink] += amt
-	}
-
-	// Extract flows.
-	out := &Result{Flow: make([]int64, m)}
-	for i, a := range g.arcs {
-		out.Flow[i] = a.Cap - res[2*i]
-		out.Cost += out.Flow[i] * a.Cost
-	}
-
-	// Final potentials: Bellman-Ford over the residual graph from a
-	// virtual source reaching every node with zero-cost arcs. For an
-	// optimal flow the residual graph has no negative cycles, so dist is
-	// well-defined; Potential = -dist satisfies complementary slackness.
-	pot, err := residualPotentials(n, first, next, head, cost, res)
-	if err != nil {
-		return nil, err
-	}
-	out.Potential = pot
 	return out, nil
 }
 
 // cancelNegativeCycles repeatedly finds a negative-cost cycle in the
 // residual graph via Bellman-Ford with parent tracking and saturates it.
 // Cycles whose bottleneck is effectively infinite indicate an unbounded
-// objective.
+// objective. Shared by the cycle-canceling solver.
 func cancelNegativeCycles(n int, first, next, head []int, cost, res []int64) error {
 	dist := make([]int64, n)
 	parentArc := make([]int, n)
@@ -245,7 +94,7 @@ func cancelNegativeCycles(n int, first, next, head []int, cost, res []int64) err
 
 // residualPotentials runs Bellman-Ford from a virtual source connected to
 // all nodes by zero-cost arcs over residual arcs (res > 0) and returns
-// -dist as potentials.
+// -dist as potentials. Shared by the cycle-canceling solver.
 func residualPotentials(n int, first, next, head []int, cost, res []int64) ([]int64, error) {
 	dist := make([]int64, n)
 	// Virtual source: dist starts at 0 for all nodes.
