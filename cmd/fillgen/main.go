@@ -8,9 +8,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	dummyfill "dummyfill"
 	"dummyfill/internal/gdsii"
@@ -24,7 +26,12 @@ func main() {
 	out := flag.String("o", "", "output solution GDSII path (default <design>_fill.gds)")
 	lambda := flag.Float64("lambda", 0, "candidate overfill factor λ (0 = default)")
 	workers := flag.Int("workers", 0, "window-level parallelism (0 = all cores)")
+	deadline := flag.Duration("deadline", 0, "soft time budget: past it, remaining windows emit unshrunk candidates instead of failing (0 = unlimited)")
 	flag.Parse()
+
+	// Ctrl-C hard-aborts the run; -deadline degrades it gracefully.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
 
 	var lay *dummyfill.Layout
 	var coeffs dummyfill.Coefficients
@@ -55,6 +62,7 @@ func main() {
 		opts.Lambda = *lambda
 	}
 	opts.Workers = *workers
+	opts.Budget = *deadline
 
 	var chosen *dummyfill.Method
 	for _, m := range dummyfill.AllMethods(opts) {
@@ -68,7 +76,7 @@ func main() {
 		fatal(fmt.Errorf("unknown method %q", *method))
 	}
 
-	rep, sol, err := dummyfill.RunMethod(*chosen, lay, coeffs)
+	rep, sol, health, err := dummyfill.RunMethodContext(ctx, *chosen, lay, coeffs)
 	if err != nil {
 		fatal(err)
 	}
@@ -76,6 +84,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fillgen: WARNING: %d DRC violations (first: %v)\n", len(vs), vs[0])
 	}
 	fmt.Printf("design %s, method %s: %d fills\n", *design, chosen.Name, len(sol.Fills))
+	if health != nil {
+		fmt.Printf("health: %s\n", health)
+	}
 	fmt.Println(rep)
 
 	path := *out

@@ -13,11 +13,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -33,10 +35,16 @@ func main() {
 	expName := flag.String("exp", "all", "experiment: table2, table3, fig6, cmp, all")
 	designs := flag.String("designs", "s,b,m", "comma-separated design list")
 	formatName := flag.String("format", "text", "output format: text, csv, md")
+	deadline := flag.Duration("deadline", 0, "soft per-run time budget for the fill engine: past it, remaining windows emit unshrunk candidates instead of failing (0 = unlimited)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
 	flag.Parse()
+
+	// Interrupt (Ctrl-C) hard-aborts in-flight engine runs via context;
+	// the -deadline budget, by contrast, degrades gracefully.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
 
 	if *pprofAddr != "" {
 		go func() {
@@ -82,6 +90,7 @@ func main() {
 		}
 	}
 	opts := fill.DefaultOptions()
+	opts.Budget = *deadline
 	out := os.Stdout
 	text := format == exp.Text
 
@@ -123,7 +132,7 @@ func main() {
 		if text {
 			fmt.Println("== Table 3: experimental results (ours vs. baseline methods) ==")
 		}
-		rows, err := exp.Table3(names, opts, measure)
+		rows, err := exp.Table3Ctx(ctx, names, opts, measure)
 		if err != nil {
 			fatal(err)
 		}
@@ -131,6 +140,11 @@ func main() {
 			fatal(err)
 		}
 		if text {
+			for _, r := range rows {
+				if r.Health != nil {
+					fmt.Printf("health[%s/%s]: %s\n", r.Design, r.Method, r.Health)
+				}
+			}
 			fmt.Println()
 		}
 	}

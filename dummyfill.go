@@ -22,6 +22,7 @@
 package dummyfill
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -53,10 +54,15 @@ type (
 	Rect = geom.Rect
 	// Point is an integer point in database units.
 	Point = geom.Point
-	// Options tunes the fill engine (λ, γ, η, solver, parallelism).
+	// Options tunes the fill engine (λ, γ, η, solver, parallelism,
+	// time budget, fault injection).
 	Options = fill.Options
-	// Result is the engine output (solution + planning diagnostics).
+	// Result is the engine output (solution + planning diagnostics +
+	// health).
 	Result = fill.Result
+	// Health reports how gracefully a run completed: solver fallback
+	// counts, degraded/skipped windows, recovered panics, budget use.
+	Health = fill.Health
 	// Coefficients are the α/β contest scoring parameters.
 	Coefficients = score.Coefficients
 	// Report is a fully scored solution (one Table 3 row).
@@ -74,11 +80,19 @@ func DefaultOptions() Options { return fill.DefaultOptions() }
 
 // Insert runs the full fill insertion flow on a layout.
 func Insert(lay *Layout, opts Options) (*Result, error) {
+	return InsertContext(context.Background(), lay, opts)
+}
+
+// InsertContext is Insert under a context. Cancellation is a hard abort
+// with no partial Result; for a graceful time limit that still returns a
+// complete, DRC-clean solution, set Options.Budget instead and inspect
+// Result.Health.
+func InsertContext(ctx context.Context, lay *Layout, opts Options) (*Result, error) {
 	e, err := fill.New(lay, opts)
 	if err != nil {
 		return nil, err
 	}
-	return e.Run()
+	return e.RunContext(ctx)
 }
 
 // CheckDRC verifies a solution against the layout's fill rules, including
@@ -170,17 +184,29 @@ func Calibrate(lay *Layout, betaRuntimeSec, betaMemoryMiB float64) (Coefficients
 type Method struct {
 	Name string
 	Run  func(*Layout) (*Solution, error)
+	// RunContext, when set, is the cancellable, health-reporting variant
+	// used by RunMethodContext. Ours sets it; the baselines solve without
+	// a solver chain and report no health.
+	RunContext func(ctx context.Context, lay *Layout) (*Solution, *Health, error)
 }
 
 // Ours returns the paper's method as a Method.
 func Ours(opts Options) Method {
-	return Method{Name: "ours", Run: func(lay *Layout) (*Solution, error) {
-		res, err := Insert(lay, opts)
+	runCtx := func(ctx context.Context, lay *Layout) (*Solution, *Health, error) {
+		res, err := InsertContext(ctx, lay, opts)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return &res.Solution, nil
-	}}
+		return &res.Solution, &res.Health, nil
+	}
+	return Method{
+		Name: "ours",
+		Run: func(lay *Layout) (*Solution, error) {
+			sol, _, err := runCtx(context.Background(), lay)
+			return sol, err
+		},
+		RunContext: runCtx,
+	}
 }
 
 // Baselines returns the three traditional methods (the contest top-3
@@ -209,22 +235,37 @@ func AllMethods(opts Options) []Method {
 // an approximate peak-live-heap figure and the solution GDSII size, and
 // returns the scored report alongside the solution.
 func RunMethod(m Method, lay *Layout, c Coefficients) (*Report, *Solution, error) {
+	rep, sol, _, err := RunMethodContext(context.Background(), m, lay, c)
+	return rep, sol, err
+}
+
+// RunMethodContext is RunMethod under a context, additionally returning
+// the engine's health report when the method provides one (nil for the
+// baselines, which have no degradation modes).
+func RunMethodContext(ctx context.Context, m Method, lay *Layout, c Coefficients) (*Report, *Solution, *Health, error) {
 	var sol *Solution
+	var health *Health
 	runtimeSec, memMiB, err := measure(func() error {
 		var err error
-		sol, err = m.Run(lay)
+		if m.RunContext != nil {
+			sol, health, err = m.RunContext(ctx, lay)
+		} else {
+			if err = ctx.Err(); err == nil {
+				sol, err = m.Run(lay)
+			}
+		}
 		return err
 	})
 	if err != nil {
-		return nil, nil, fmt.Errorf("dummyfill: method %s: %w", m.Name, err)
+		return nil, nil, nil, fmt.Errorf("dummyfill: method %s: %w", m.Name, err)
 	}
 	sz, err := GDSSize(lay, sol)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	raw, err := score.Measure(lay, sol, sz, runtimeSec, memMiB)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return score.Score(raw, c), sol, nil
+	return score.Score(raw, c), sol, health, nil
 }

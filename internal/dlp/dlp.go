@@ -13,6 +13,7 @@
 package dlp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -114,15 +115,34 @@ func NetworkSimplex(g *mcf.Graph) (*mcf.Result, error) { return g.SolveNetworkSi
 // matrix is totally unimodular, so all return integral optima) and exist
 // so the engine can be benchmarked per backend, reproducing the paper's
 // §3.3.3 dual-MCF-beats-LP claim end to end.
-type PSolver func(*Problem) ([]int64, int64, error)
+//
+// The context propagates cancellation into the solve: the SSP backend
+// checks it mid-augmentation, the one-shot backends check it up front. A
+// cancelled solve returns an error unwrapping to ctx.Err().
+type PSolver func(ctx context.Context, p *Problem) ([]int64, int64, error)
 
 // ViaSSP solves through the dual min-cost flow with successive shortest
-// paths (the default).
-func ViaSSP(p *Problem) ([]int64, int64, error) { return p.SolveWith(SSP) }
+// paths (the default). Cancellation is honoured mid-solve.
+func ViaSSP(ctx context.Context, p *Problem) ([]int64, int64, error) {
+	return p.SolveWith(func(g *mcf.Graph) (*mcf.Result, error) {
+		var ws mcf.Workspace
+		out := &mcf.Result{}
+		if err := ws.SolveSSP(ctx, g, false, out); err != nil {
+			return nil, err
+		}
+		return out, nil
+	})
+}
 
 // ViaNetworkSimplex solves through the dual min-cost flow with network
-// simplex (the LEMON-style solver the paper used).
-func ViaNetworkSimplex(p *Problem) ([]int64, int64, error) { return p.SolveWith(NetworkSimplex) }
+// simplex (the LEMON-style solver the paper used). The underlying solver
+// is one-shot, so cancellation is only checked before it starts.
+func ViaNetworkSimplex(ctx context.Context, p *Problem) ([]int64, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	return p.SolveWith(NetworkSimplex)
+}
 
 // Solve optimizes the problem via dual min-cost flow using the SSP solver
 // and returns the optimal variable assignment and objective value.

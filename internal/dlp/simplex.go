@@ -1,6 +1,7 @@
 package dlp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -12,8 +13,12 @@ import (
 // general-purpose simplex instead of the dual min-cost-flow transform —
 // the "LP/ILP" baseline the paper's §3.3.3 speedup is measured against.
 // The optimum is integral by total unimodularity; values are rounded to
-// guard against float noise and re-checked.
-func ViaSimplexLP(p *Problem) ([]int64, int64, error) {
+// guard against float noise and re-checked. The dense solver is one-shot,
+// so cancellation is only checked before it starts.
+func ViaSimplexLP(ctx context.Context, p *Problem) ([]int64, int64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	if err := p.validate(); err != nil {
 		return nil, 0, err
 	}

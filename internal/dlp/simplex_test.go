@@ -1,6 +1,7 @@
 package dlp
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -41,7 +42,7 @@ func TestAllBackendsAgree(t *testing.T) {
 		}
 		var ref outcome
 		for bi, b := range backends {
-			x, obj, err := b.s(p)
+			x, obj, err := b.s(context.Background(), p)
 			o := outcome{obj, err == nil}
 			if err != nil && !errors.Is(err, ErrInfeasible) {
 				t.Fatalf("it %d %s: unexpected error %v", it, b.name, err)
@@ -70,7 +71,7 @@ func TestViaSimplexLPFig6(t *testing.T) {
 	p.C = []int64{1, 2, 3, 4}
 	p.AddConstraint(0, 1, 5)
 	p.AddConstraint(3, 2, 6)
-	x, obj, err := ViaSimplexLP(p)
+	x, obj, err := ViaSimplexLP(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestViaSimplexLPFig6(t *testing.T) {
 func TestViaSimplexLPInfeasible(t *testing.T) {
 	p := NewProblem(2, 3)
 	p.AddConstraint(0, 1, 10)
-	_, _, err := ViaSimplexLP(p)
+	_, _, err := ViaSimplexLP(context.Background(), p)
 	if !errors.Is(err, ErrInfeasible) {
 		t.Fatalf("err = %v, want ErrInfeasible", err)
 	}
@@ -90,7 +91,7 @@ func TestViaSimplexLPInfeasible(t *testing.T) {
 
 func TestViaSimplexLPValidates(t *testing.T) {
 	p := &Problem{C: []int64{1}, Lo: []int64{0, 0}, Hi: []int64{5}}
-	if _, _, err := ViaSimplexLP(p); err == nil {
+	if _, _, err := ViaSimplexLP(context.Background(), p); err == nil {
 		t.Fatal("inconsistent problem must error")
 	}
 }

@@ -1,6 +1,7 @@
 package dlp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -43,8 +44,9 @@ func NewWarmSolver() *WarmSolver { return &WarmSolver{} }
 func NewWarmSSP() PSolver { return NewWarmSolver().Solve }
 
 // Solve optimizes p exactly like Problem.Solve, but through the reusable
-// arena. The returned slice is valid until the next Solve call.
-func (s *WarmSolver) Solve(p *Problem) ([]int64, int64, error) {
+// arena, honouring cancellation mid-solve. The returned slice is valid
+// until the next Solve call.
+func (s *WarmSolver) Solve(ctx context.Context, p *Problem) ([]int64, int64, error) {
 	if err := p.validate(); err != nil {
 		return nil, 0, err
 	}
@@ -59,7 +61,8 @@ func (s *WarmSolver) Solve(p *Problem) ([]int64, int64, error) {
 	s.g.SetSupply(0, sumC)
 
 	for _, c := range p.Cons {
-		// x_I − x_J ≥ B  →  arc J→I, cost −B.
+		// x_I − x_J ≥ B  →  arc J→I, cost −B. Endpoints are in range by
+		// validate; a failure here is surfaced by the solver via Graph.Err.
 		s.g.AddArc(c.J+1, c.I+1, mcf.InfCap, -c.B)
 	}
 	for i := 0; i < n; i++ {
@@ -70,7 +73,7 @@ func (s *WarmSolver) Solve(p *Problem) ([]int64, int64, error) {
 	}
 
 	warm := s.warmed && s.lastN == n+1
-	err := s.ws.SolveSSP(&s.g, warm, &s.res)
+	err := s.ws.SolveSSP(ctx, &s.g, warm, &s.res)
 	if err != nil {
 		s.warmed = false
 		if errors.Is(err, mcf.ErrUnbounded) || errors.Is(err, mcf.ErrInfeasible) {

@@ -1,6 +1,7 @@
 package dlp
 
 import (
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
@@ -35,7 +36,7 @@ func TestWarmMatchesCold(t *testing.T) {
 	solved := 0
 	for it := 0; it < 300; it++ {
 		p := randomProblem(rng, 2+rng.Intn(12))
-		xw, objW, errW := s.Solve(p)
+		xw, objW, errW := s.Solve(context.Background(), p)
 		xc, objC, errC := p.Solve()
 		if (errW == nil) != (errC == nil) {
 			t.Fatalf("it %d: verdict mismatch warm=%v cold=%v", it, errW, errC)
@@ -73,7 +74,7 @@ func TestWarmSequenceReusesState(t *testing.T) {
 		for i := range base.C {
 			base.C[i] += int64(rng.Intn(5) - 2)
 		}
-		_, objW, errW := s.Solve(base)
+		_, objW, errW := s.Solve(context.Background(), base)
 		_, objC, errC := base.Solve()
 		if (errW == nil) != (errC == nil) {
 			t.Fatalf("pass %d: verdict mismatch warm=%v cold=%v", pass, errW, errC)
@@ -91,13 +92,13 @@ func TestWarmAfterInfeasible(t *testing.T) {
 	bad := NewProblem(2, 10)
 	bad.AddConstraint(0, 1, 5)
 	bad.AddConstraint(1, 0, 5) // x0-x1 >= 5 and x1-x0 >= 5: impossible
-	if _, _, err := s.Solve(bad); !errors.Is(err, ErrInfeasible) {
+	if _, _, err := s.Solve(context.Background(), bad); !errors.Is(err, ErrInfeasible) {
 		t.Fatalf("want ErrInfeasible, got %v", err)
 	}
 	good := NewProblem(2, 10)
 	good.C = []int64{1, 1}
 	good.AddConstraint(0, 1, 3)
-	x, obj, err := s.Solve(good)
+	x, obj, err := s.Solve(context.Background(), good)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func BenchmarkWarmVsCold(b *testing.B) {
 			s := NewWarmSolver()
 			for i := 0; i < b.N; i++ {
 				p.C[2*(i%n)+1]++
-				if _, _, err := s.Solve(p); err != nil {
+				if _, _, err := s.Solve(context.Background(), p); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -6,6 +6,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"dummyfill/internal/baseline"
@@ -55,32 +56,35 @@ func Table2(designs []string) ([]Table2Row, error) {
 	return out, nil
 }
 
-// Table3Row is one (design, method) evaluation.
+// Table3Row is one (design, method) evaluation. Health is set only for
+// the engine method ("ours"); the baselines have no degradation modes.
 type Table3Row struct {
 	Design string
 	Method string
 	Report *score.Report
 	Fills  int
+	Health *fill.Health
 }
 
-// Method is a named fill runner.
+// Method is a named fill runner. The baselines ignore the context and
+// return a nil health report.
 type Method struct {
 	Name string
-	Run  func(*layout.Layout) (*layout.Solution, error)
+	Run  func(ctx context.Context, lay *layout.Layout) (*layout.Solution, *fill.Health, error)
 }
 
 // Methods returns the paper's engine plus the four baselines.
 func Methods(opts fill.Options) []Method {
-	ours := Method{Name: "ours", Run: func(lay *layout.Layout) (*layout.Solution, error) {
+	ours := Method{Name: "ours", Run: func(ctx context.Context, lay *layout.Layout) (*layout.Solution, *fill.Health, error) {
 		e, err := fill.New(lay, opts)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		res, err := e.Run()
+		res, err := e.RunContext(ctx)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return &res.Solution, nil
+		return &res.Solution, &res.Health, nil
 	}}
 	out := []Method{ours}
 	for _, f := range []baseline.Filler{
@@ -90,7 +94,13 @@ func Methods(opts fill.Options) []Method {
 		baseline.Greedy{},
 	} {
 		f := f
-		out = append(out, Method{Name: f.Name(), Run: f.Fill})
+		out = append(out, Method{Name: f.Name(), Run: func(ctx context.Context, lay *layout.Layout) (*layout.Solution, *fill.Health, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+			sol, err := f.Fill(lay)
+			return sol, nil, err
+		}})
 	}
 	return out
 }
@@ -102,6 +112,12 @@ type MeasureFn func(func() error) (float64, float64, error)
 // Table3 runs every method on every design. measure supplies the
 // runtime/memory instrumentation (pass a stub returning zeros to skip).
 func Table3(designs []string, opts fill.Options, measure MeasureFn) ([]Table3Row, error) {
+	return Table3Ctx(context.Background(), designs, opts, measure)
+}
+
+// Table3Ctx is Table3 under a context: cancellation aborts between (and,
+// for the engine, inside) method runs.
+func Table3Ctx(ctx context.Context, designs []string, opts fill.Options, measure MeasureFn) ([]Table3Row, error) {
 	var out []Table3Row
 	for _, n := range designs {
 		sp, err := synth.ByName(n)
@@ -118,9 +134,10 @@ func Table3(designs []string, opts fill.Options, measure MeasureFn) ([]Table3Row
 		}
 		for _, m := range Methods(opts) {
 			var sol *layout.Solution
+			var health *fill.Health
 			sec, mem, err := measure(func() error {
 				var err error
-				sol, err = m.Run(lay)
+				sol, health, err = m.Run(ctx, lay)
 				return err
 			})
 			if err != nil {
@@ -137,6 +154,7 @@ func Table3(designs []string, opts fill.Options, measure MeasureFn) ([]Table3Row
 			out = append(out, Table3Row{
 				Design: n, Method: m.Name,
 				Report: score.Score(raw, coeffs), Fills: len(sol.Fills),
+				Health: health,
 			})
 		}
 	}

@@ -1,0 +1,162 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestNilAndZeroInjectorAreInert(t *testing.T) {
+	var nilIn *Injector
+	if nilIn.Hit(SiteWarmSolve, 0) {
+		t.Fatal("nil injector fired")
+	}
+	if err := nilIn.Fail(SiteWarmSolve, 0); err != nil {
+		t.Fatalf("nil injector Fail = %v", err)
+	}
+	if nilIn.Hits(SiteWarmSolve) != 0 {
+		t.Fatal("nil injector counted a hit")
+	}
+	nilIn.ResetCounters() // must not panic
+
+	in := New(7)
+	for k := uint64(0); k < 1000; k++ {
+		if in.Hit(SiteWarmSolve, k) {
+			t.Fatal("injector with no rates fired")
+		}
+	}
+}
+
+func TestDeterministicAcrossCallOrder(t *testing.T) {
+	const n = 512
+	a := New(42).WithRate(SiteWarmSolve, 0.25).WithRate(SitePanic, 0.1)
+	b := New(42).WithRate(SiteWarmSolve, 0.25).WithRate(SitePanic, 0.1)
+
+	// Query a forward and b backward, interleaving sites; decisions must
+	// agree key-for-key — no hidden call-order state.
+	got := make(map[uint64][2]bool, n)
+	for k := uint64(0); k < n; k++ {
+		got[k] = [2]bool{a.Hit(SiteWarmSolve, k), a.Hit(SitePanic, k)}
+	}
+	for k := int64(n - 1); k >= 0; k-- {
+		key := uint64(k)
+		want := got[key]
+		if b.Hit(SitePanic, key) != want[1] || b.Hit(SiteWarmSolve, key) != want[0] {
+			t.Fatalf("key %d: decisions differ between call orders", key)
+		}
+	}
+	if a.Hits(SiteWarmSolve) != b.Hits(SiteWarmSolve) || a.Hits(SitePanic) != b.Hits(SitePanic) {
+		t.Fatalf("hit counts differ: a=(%d,%d) b=(%d,%d)",
+			a.Hits(SiteWarmSolve), a.Hits(SitePanic), b.Hits(SiteWarmSolve), b.Hits(SitePanic))
+	}
+}
+
+func TestRateZeroAndOne(t *testing.T) {
+	in := New(3).WithRate(SiteColdSolve, 1).WithRate(SiteCorrupt, 0)
+	for k := uint64(0); k < 256; k++ {
+		if !in.Hit(SiteColdSolve, k) {
+			t.Fatalf("rate-1 site missed at key %d", k)
+		}
+		if in.Hit(SiteCorrupt, k) {
+			t.Fatalf("rate-0 site fired at key %d", k)
+		}
+	}
+	if got := in.Hits(SiteColdSolve); got != 256 {
+		t.Fatalf("Hits = %d, want 256", got)
+	}
+}
+
+func TestRateRoughlyHonoured(t *testing.T) {
+	const n = 20000
+	in := New(99).WithRate(SiteWarmSolve, 0.25)
+	var fired int
+	for k := uint64(0); k < n; k++ {
+		if in.Hit(SiteWarmSolve, k) {
+			fired++
+		}
+	}
+	// 25% of 20000 = 5000; allow ±3% absolute.
+	if fired < n/4-600 || fired > n/4+600 {
+		t.Fatalf("rate 0.25 fired %d/%d times", fired, n)
+	}
+}
+
+func TestSeedChangesPattern(t *testing.T) {
+	a := New(1).WithRate(SiteWarmSolve, 0.5)
+	b := New(2).WithRate(SiteWarmSolve, 0.5)
+	same := 0
+	const n = 1024
+	for k := uint64(0); k < n; k++ {
+		if a.Would(SiteWarmSolve, k) == b.Would(SiteWarmSolve, k) {
+			same++
+		}
+	}
+	if same == n {
+		t.Fatal("different seeds produced identical fault patterns")
+	}
+}
+
+func TestWouldMatchesHitWithoutCounting(t *testing.T) {
+	in := New(11).WithRate(SitePanic, 0.3)
+	for k := uint64(0); k < 256; k++ {
+		want := in.Would(SitePanic, k)
+		if in.Hits(SitePanic) != 0 {
+			t.Fatal("Would incremented the counter")
+		}
+		if got := in.Hit(SitePanic, k); got != want {
+			t.Fatalf("key %d: Hit=%v Would=%v", k, got, want)
+		}
+		in.ResetCounters()
+	}
+}
+
+func TestFailWrapsErrInjected(t *testing.T) {
+	in := New(5).WithRate(SiteSimplexSolve, 1)
+	err := in.Fail(SiteSimplexSolve, 17)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Fail = %v, want ErrInjected", err)
+	}
+	if in.Fail(SiteBudget, 17) != nil {
+		t.Fatal("inactive site returned an error")
+	}
+}
+
+func TestConcurrentHitsCountExactly(t *testing.T) {
+	in := New(8).WithRate(SiteWarmSolve, 1)
+	var wg sync.WaitGroup
+	const workers, per = 8, 500
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < per; k++ {
+				in.Hit(SiteWarmSolve, uint64(w*per+k))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Hits(SiteWarmSolve); got != workers*per {
+		t.Fatalf("Hits = %d, want %d", got, workers*per)
+	}
+	in.ResetCounters()
+	if in.Hits(SiteWarmSolve) != 0 {
+		t.Fatal("ResetCounters did not zero")
+	}
+}
+
+func TestSiteString(t *testing.T) {
+	for site, want := range map[Site]string{
+		SiteWarmSolve:    "warm-solve",
+		SiteColdSolve:    "cold-solve",
+		SiteSimplexSolve: "simplex-solve",
+		SitePanic:        "panic",
+		SiteCorrupt:      "corrupt",
+		SiteBudget:       "budget",
+		Site(99):         "site(99)",
+	} {
+		if got := site.String(); got != want {
+			t.Fatalf("Site(%d).String() = %q, want %q", uint64(site), got, want)
+		}
+	}
+}

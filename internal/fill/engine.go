@@ -1,11 +1,13 @@
 package fill
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dummyfill/internal/density"
 	"dummyfill/internal/geom"
@@ -37,6 +39,9 @@ type Result struct {
 	UpperBounds []*grid.Map
 	// Windows is the number of grid windows processed.
 	Windows int
+	// Health reports how gracefully the run completed: solver fallback
+	// counts, degraded/skipped windows, recovered panics, budget use.
+	Health Health
 }
 
 // New validates the layout and constructs an engine.
@@ -62,13 +67,28 @@ func New(lay *layout.Layout, opts Options) (*Engine, error) {
 
 // Run executes the flow: prepare windows → density planning → candidate
 // generation (Alg. 1) → density re-planning → sizing via dual min-cost
-// flow → solution assembly.
+// flow → solution assembly. It is RunContext without cancellation.
+func (e *Engine) Run() (*Result, error) { return e.RunContext(context.Background()) }
+
+// RunContext is Run under a context. Cancellation is a hard abort: the
+// run stops at the next phase boundary, window claim or solver stride and
+// returns the context's error with no partial Result. For graceful
+// time-limited runs use Options.Budget instead, which degrades remaining
+// windows and still returns a complete, DRC-clean solution.
 //
 // The result is deterministic regardless of Workers: every parallel stage
-// writes only window-owned state, and the final fill list is assembled in
-// window order and canonically sorted.
-func (e *Engine) Run() (*Result, error) {
-	wins := e.prepareWindows()
+// writes only window-owned state, fault and fallback decisions are keyed
+// by window index, and the final fill list is assembled in window order
+// and canonically sorted.
+func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	wins, err := e.prepareWindows(ctx)
+	if err != nil {
+		return nil, err
+	}
 
 	// Planning round 1: bounds from tileable candidate area.
 	bounds := e.bounds(wins, nil)
@@ -79,10 +99,13 @@ func (e *Engine) Run() (*Result, error) {
 	e.applyMinDensity(plan1.Td)
 
 	// Candidate generation under plan-1 guidance.
-	e.forEachWindow(wins, func(_ int, w *window) error {
+	err = e.forEachWindow(ctx, wins, func(_ context.Context, _ int, w *window) error {
 		w.selectCandidates(e.lay, plan1.Td, e.opts.Lambda, e.opts.Gamma)
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 	numCand := 0
 	for _, w := range wins {
 		numCand += len(w.sel)
@@ -101,17 +124,27 @@ func (e *Engine) Run() (*Result, error) {
 	for i := range bounds2 {
 		uppers[i] = bounds2[i].Upper
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
-	// Sizing per window. Each worker draws a reusable scratch (solver
-	// arena, LP, spatial indexes) from the pool, so a worker's warm-started
-	// solver state flows from window to window.
+	// Sizing per window, through the resilient fallback chain. Each worker
+	// draws a reusable scratch (solver arena, LP, spatial indexes) from the
+	// pool, so a worker's warm-started solver state flows from window to
+	// window. Only cancellation can fail this phase; solver trouble
+	// degrades individual windows and is reported via Health.
+	hc := &healthCollector{}
 	scratchPool := sync.Pool{New: func() any { return newSizeScratch(e.opts) }}
 	sized := make([][]layout.Fill, len(wins))
-	err = e.forEachWindow(wins, func(k int, w *window) error {
+	err = e.forEachWindow(ctx, wins, func(ctx context.Context, k int, w *window) error {
+		if len(w.sel) == 0 {
+			hc.skipped.Add(1)
+			return nil
+		}
 		sc := scratchPool.Get().(*sizeScratch)
 		defer scratchPool.Put(sc)
 		targets := e.windowTargets(w, plan2.Td, sc)
-		cs, err := sizeWindowScratch(w, e.lay, targets, e.opts, sc)
+		cs, err := e.sizeWindowResilient(ctx, k, w, targets, sc, hc, start)
 		if err != nil {
 			return err
 		}
@@ -147,6 +180,7 @@ func (e *Engine) Run() (*Result, error) {
 		Candidates:   numCand,
 		UpperBounds:  uppers,
 		Windows:      len(wins),
+		Health:       hc.health(len(wins), e.opts.Budget, time.Since(start)),
 	}, nil
 }
 
@@ -238,8 +272,9 @@ var prepPool = sync.Pool{New: func() any { return new(prepScratch) }}
 // pass assigns each shape to the rows it overlaps, then stripe tasks run
 // on the worker pool, each exclusively owning the (window, layer) states
 // of its row. Appends follow input shape order, so the prepared windows
-// are identical to a serial run.
-func (e *Engine) prepareWindows() []*window {
+// are identical to a serial run. A non-nil error is only ever the
+// context's cancellation error.
+func (e *Engine) prepareWindows(ctx context.Context) ([]*window, error) {
 	nw := e.g.NumWindows()
 	nl := len(e.lay.Layers)
 	nx, ny := e.g.NX, e.g.NY
@@ -287,7 +322,7 @@ func (e *Engine) prepareWindows() []*window {
 	inset := (e.lay.Rules.MinSpace + 1) / 2
 
 	// Stripe tasks: task t covers layer t/ny, window row t%ny.
-	e.parallelFor(nl*ny, func(t int) error {
+	err := e.parallelFor(ctx, nl*ny, func(_ context.Context, t int) error {
 		li, j := t/ny, t%ny
 		layer := e.lay.Layers[li]
 		sc := prepPool.Get().(*prepScratch)
@@ -355,9 +390,12 @@ func (e *Engine) prepareWindows() []*window {
 		sc.clips = clips
 		return nil
 	})
+	if err != nil {
+		return nil, err
+	}
 
 	// Tile free regions into candidate cells.
-	e.forEachWindow(wins, func(_ int, w *window) error {
+	err = e.forEachWindow(ctx, wins, func(_ context.Context, _ int, w *window) error {
 		for li := range w.layers {
 			wl := &w.layers[li]
 			for _, fr := range wl.free {
@@ -368,7 +406,10 @@ func (e *Engine) prepareWindows() []*window {
 		}
 		return nil
 	})
-	return wins
+	if err != nil {
+		return nil, err
+	}
+	return wins, nil
 }
 
 // bounds derives per-layer planning bounds. When selected is nil the upper
@@ -456,23 +497,29 @@ func (e *Engine) workerCount(n int) int {
 	return workers
 }
 
-// parallelFor runs fn(idx) for every idx in [0,n) across the worker pool.
-// The first error cancels the run promptly: workers observe the stop flag
-// before claiming the next task, so no work is started after a failure,
-// and the first error (by completion order) is returned.
-func (e *Engine) parallelFor(n int, fn func(idx int) error) error {
+// parallelFor runs fn(ctx, idx) for every idx in [0,n) across the worker
+// pool. The first error cancels the run promptly and is returned: the
+// pool's derived context is cancelled immediately, so in-flight siblings
+// blocked inside fn observe ctx.Done() without waiting for a task
+// boundary, and no new task is claimed after a failure. Cancellation of
+// the parent context likewise stops the pool and returns its error.
+func (e *Engine) parallelFor(ctx context.Context, n int, fn func(ctx context.Context, idx int) error) error {
 	workers := e.workerCount(n)
 	if workers <= 1 {
 		for idx := 0; idx < n; idx++ {
-			if err := fn(idx); err != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, idx); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var (
 		next     atomic.Int64
-		stop     atomic.Bool
 		firstErr error
 		once     sync.Once
 		wg       sync.WaitGroup
@@ -481,25 +528,28 @@ func (e *Engine) parallelFor(n int, fn func(idx int) error) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for !stop.Load() {
+			for wctx.Err() == nil {
 				idx := int(next.Add(1)) - 1
 				if idx >= n {
 					return
 				}
-				if err := fn(idx); err != nil {
+				if err := fn(wctx, idx); err != nil {
 					once.Do(func() { firstErr = err })
-					stop.Store(true)
+					cancel()
 					return
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }
 
 // forEachWindow applies fn to every window, in parallel across workers.
 // The first error wins and cancels outstanding work.
-func (e *Engine) forEachWindow(wins []*window, fn func(k int, w *window) error) error {
-	return e.parallelFor(len(wins), func(k int) error { return fn(k, wins[k]) })
+func (e *Engine) forEachWindow(ctx context.Context, wins []*window, fn func(ctx context.Context, k int, w *window) error) error {
+	return e.parallelFor(ctx, len(wins), func(ctx context.Context, k int) error { return fn(ctx, k, wins[k]) })
 }

@@ -1,9 +1,11 @@
 package fill
 
 import (
+	"context"
 	"errors"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 // workerEngine builds an engine over a small layout with the given worker
@@ -35,7 +37,7 @@ func TestParallelForCoversAllTasks(t *testing.T) {
 	} {
 		e := workerEngine(t, tc.workers)
 		hits := make([]atomic.Int32, tc.n)
-		if err := e.parallelFor(tc.n, func(idx int) error {
+		if err := e.parallelFor(context.Background(), tc.n, func(_ context.Context, idx int) error {
 			hits[idx].Add(1)
 			return nil
 		}); err != nil {
@@ -58,7 +60,7 @@ func TestParallelForPromptCancellation(t *testing.T) {
 	e := workerEngine(t, workers)
 	boom := errors.New("boom")
 	var started atomic.Int32
-	err := e.parallelFor(n, func(idx int) error {
+	err := e.parallelFor(context.Background(), n, func(_ context.Context, idx int) error {
 		started.Add(1)
 		return boom
 	})
@@ -75,7 +77,7 @@ func TestParallelForPromptCancellation(t *testing.T) {
 func TestParallelForReturnsFirstError(t *testing.T) {
 	e := workerEngine(t, 3)
 	boom := errors.New("late failure")
-	err := e.parallelFor(100, func(idx int) error {
+	err := e.parallelFor(context.Background(), 100, func(_ context.Context, idx int) error {
 		if idx == 99 {
 			return boom
 		}
@@ -83,6 +85,65 @@ func TestParallelForReturnsFirstError(t *testing.T) {
 	})
 	if !errors.Is(err, boom) {
 		t.Fatalf("want injected error, got %v", err)
+	}
+}
+
+// TestParallelForCancelsInFlightSiblings checks that a worker error
+// reaches siblings that are already inside fn: they observe ctx.Done()
+// immediately instead of running their task to completion, so the pool
+// drains in bounded time. Without prompt in-flight cancellation this test
+// takes ~(n/workers)×5s; with it, milliseconds.
+func TestParallelForCancelsInFlightSiblings(t *testing.T) {
+	const workers, n = 4, 100
+	e := workerEngine(t, workers)
+	boom := errors.New("window 0 failed")
+	var started, cancelled atomic.Int32
+	begin := time.Now()
+	err := e.parallelFor(context.Background(), n, func(ctx context.Context, idx int) error {
+		started.Add(1)
+		if idx == 0 {
+			return boom
+		}
+		select {
+		case <-ctx.Done():
+			cancelled.Add(1)
+			return ctx.Err()
+		case <-time.After(5 * time.Second):
+			return nil
+		}
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want the worker error, got %v", err)
+	}
+	if elapsed := time.Since(begin); elapsed > 2*time.Second {
+		t.Fatalf("pool drained in %v; in-flight siblings were not cancelled promptly", elapsed)
+	}
+	if got := started.Load(); got > workers {
+		t.Fatalf("%d tasks started; want <= %d after the failure", got, workers)
+	}
+	if cancelled.Load() == 0 && started.Load() > 1 {
+		t.Fatal("no in-flight sibling observed cancellation")
+	}
+}
+
+// TestParallelForParentCancellation checks the pool returns the parent
+// context's error when it is cancelled mid-run and stops claiming tasks.
+func TestParallelForParentCancellation(t *testing.T) {
+	e := workerEngine(t, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	err := e.parallelFor(ctx, 1000, func(ctx context.Context, idx int) error {
+		if ran.Add(1) == 1 {
+			cancel()
+		}
+		<-ctx.Done()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if got := ran.Load(); got > 4 {
+		t.Fatalf("%d tasks ran after cancellation; want <= workers", got)
 	}
 }
 

@@ -1,6 +1,7 @@
 package fill
 
 import (
+	"context"
 	"testing"
 
 	"dummyfill/internal/density"
@@ -103,7 +104,7 @@ func TestCandidateZeroOverlayCase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wins := e.prepareWindows()
+	wins, _ := e.prepareWindows(context.Background())
 	if len(wins) != 1 {
 		t.Fatalf("expected 1 window, got %d", len(wins))
 	}
@@ -154,7 +155,7 @@ func TestCandidateNonZeroOverlayCase(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wins := e.prepareWindows()
+	wins, _ := e.prepareWindows(context.Background())
 	w := wins[0]
 	w.selectCandidates(lay, []float64{0.7, 0.7}, 1.0, 1.0)
 	var area0 int64
@@ -179,9 +180,9 @@ func TestCandidateNonZeroOverlayCase(t *testing.T) {
 func TestSelectRespectsLambda(t *testing.T) {
 	lay := fig4Layout()
 	e, _ := New(lay, DefaultOptions())
-	winsA := e.prepareWindows()
+	winsA, _ := e.prepareWindows(context.Background())
 	winsA[0].selectCandidates(lay, []float64{0.4, 0.4}, 1.0, 1.0)
-	winsB := e.prepareWindows()
+	winsB, _ := e.prepareWindows(context.Background())
 	winsB[0].selectCandidates(lay, []float64{0.4, 0.4}, 1.5, 1.0)
 	areaOf := func(w *window) (a int64) {
 		for _, c := range w.sel {
@@ -198,7 +199,7 @@ func TestSelectRespectsLambda(t *testing.T) {
 func TestSizeWindowShrinksToTarget(t *testing.T) {
 	lay := fig4Layout()
 	e, _ := New(lay, DefaultOptions())
-	wins := e.prepareWindows()
+	wins, _ := e.prepareWindows(context.Background())
 	w := wins[0]
 	w.selectCandidates(lay, []float64{0.5, 0.5}, 1.3, 1.0)
 	var selArea int64
@@ -460,7 +461,7 @@ func TestEngineOverlayBetterThanGreedy(t *testing.T) {
 	}
 	engineOv := score.TotalOverlay(lay, &res.Solution)
 
-	wins := e.prepareWindows()
+	wins, _ := e.prepareWindows(context.Background())
 	var greedy layout.Solution
 	for _, w := range wins {
 		for li := range w.layers {

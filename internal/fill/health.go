@@ -1,0 +1,83 @@
+package fill
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Health reports how gracefully a run completed: how many windows were
+// sized by which solver tier, how many degraded to unshrunk candidates,
+// and whether the soft time budget expired. A fully healthy run has
+// Sized+Skipped == Windows and all other counters zero.
+//
+// The per-window counters are deterministic for a given layout, options
+// and fault seed — they count window-keyed decisions, not scheduling
+// accidents — so they are safe to assert on across Workers settings.
+// BudgetExceeded and Elapsed are wall-clock dependent.
+type Health struct {
+	// Windows is the number of grid windows processed.
+	Windows int `json:"windows"`
+	// Sized counts windows whose sizing LP converged on some solver tier.
+	Sized int `json:"sized"`
+	// Skipped counts windows with no selected candidates (nothing to size).
+	Skipped int `json:"skipped,omitempty"`
+	// FallbackCold counts sized windows that needed the cold SPFA tier
+	// after the warm-started solver failed.
+	FallbackCold int `json:"fallback_cold,omitempty"`
+	// FallbackSimplex counts sized windows that fell through to the dense
+	// simplex tier.
+	FallbackSimplex int `json:"fallback_simplex,omitempty"`
+	// Degraded counts windows that exhausted the solver chain (or hit the
+	// budget) and emitted their candidates unshrunk.
+	Degraded int `json:"degraded,omitempty"`
+	// Recovered counts solver panics caught by per-window isolation.
+	Recovered int `json:"recovered,omitempty"`
+	// BudgetExceeded records that the soft budget expired mid-sizing.
+	BudgetExceeded bool `json:"budget_exceeded,omitempty"`
+	// Budget echoes Options.Budget (0 = unlimited).
+	Budget time.Duration `json:"budget,omitempty"`
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration `json:"elapsed"`
+}
+
+// Healthy reports whether every window was sized normally: no fallbacks,
+// no degradation, no recovered panics, no budget expiry.
+func (h Health) Healthy() bool {
+	return h.FallbackCold == 0 && h.FallbackSimplex == 0 &&
+		h.Degraded == 0 && h.Recovered == 0 && !h.BudgetExceeded
+}
+
+// String renders the report as one line, e.g.
+//
+//	windows=256 sized=250 skipped=4 cold=1 simplex=0 degraded=2 recovered=1 budget-exceeded elapsed=1.2s
+func (h Health) String() string {
+	s := fmt.Sprintf("windows=%d sized=%d skipped=%d cold=%d simplex=%d degraded=%d recovered=%d",
+		h.Windows, h.Sized, h.Skipped, h.FallbackCold, h.FallbackSimplex, h.Degraded, h.Recovered)
+	if h.BudgetExceeded {
+		s += " budget-exceeded"
+	}
+	return s + fmt.Sprintf(" elapsed=%s", h.Elapsed.Round(time.Millisecond))
+}
+
+// healthCollector accumulates Health counters across window workers.
+type healthCollector struct {
+	sized, skipped, cold, simplex, degraded, recovered atomic.Int64
+	budgetExceeded                                     atomic.Bool
+}
+
+// health snapshots the counters into a Health report.
+func (hc *healthCollector) health(windows int, budget, elapsed time.Duration) Health {
+	return Health{
+		Windows:         windows,
+		Sized:           int(hc.sized.Load()),
+		Skipped:         int(hc.skipped.Load()),
+		FallbackCold:    int(hc.cold.Load()),
+		FallbackSimplex: int(hc.simplex.Load()),
+		Degraded:        int(hc.degraded.Load()),
+		Recovered:       int(hc.recovered.Load()),
+		BudgetExceeded:  hc.budgetExceeded.Load(),
+		Budget:          budget,
+		Elapsed:         elapsed,
+	}
+}

@@ -1,6 +1,7 @@
 package fill
 
 import (
+	"context"
 	"testing"
 
 	"dummyfill/internal/density"
@@ -266,7 +267,7 @@ func BenchmarkCandidateGeneration(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	wins := e.prepareWindows()
+	wins, _ := e.prepareWindows(context.Background())
 	td := []float64{0.4, 0.4, 0.4}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -283,7 +284,7 @@ func BenchmarkSizeWindow(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	wins := e.prepareWindows()
+	wins, _ := e.prepareWindows(context.Background())
 	td := []float64{0.4, 0.4, 0.4}
 	for _, w := range wins {
 		w.selectCandidates(lay, td, 1.15, 1.0)
@@ -294,7 +295,7 @@ func BenchmarkSizeWindow(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, w := range wins {
 			targets := e.windowTargets(w, td, sc)
-			if _, err := sizeWindowScratch(w, lay, targets, e.opts, sc); err != nil {
+			if _, err := sizeWindowScratch(context.Background(), w, lay, targets, e.opts, sc); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -4,7 +4,12 @@
 // alternating-direction dual min-cost flow (§3.3).
 package fill
 
-import "dummyfill/internal/dlp"
+import (
+	"time"
+
+	"dummyfill/internal/dlp"
+	"dummyfill/internal/faultinject"
+)
 
 // Options tune the engine. The zero value is not usable; start from
 // DefaultOptions.
@@ -46,6 +51,17 @@ type Options struct {
 	// only shrink, so a cell already thinner than 1/MaxAspect stays as
 	// is). 0 disables.
 	MaxAspect float64
+	// Budget is a soft per-run time budget (0 = unlimited). When it
+	// expires mid-run, remaining windows skip LP sizing and emit their
+	// candidates unshrunk — still DRC-clean — and the run completes with
+	// Result.Health.BudgetExceeded set instead of failing. Contrast with
+	// cancelling the RunContext context, which aborts the run with no
+	// Result.
+	Budget time.Duration
+	// Inject enables deterministic fault injection at the engine's solver
+	// and sizing sites — a test harness for the degradation paths. Nil
+	// (the default) injects nothing.
+	Inject *faultinject.Injector
 }
 
 // DefaultOptions returns the parameters used in the paper's experiments

@@ -1,6 +1,7 @@
 package fill
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"slices"
@@ -112,11 +113,19 @@ func indexes(dst []*geom.Index, nl int, bounds geom.Rect) []*geom.Index {
 // scratch storage and is only valid until the next call with the same
 // scratch.
 func sizeWindow(w *window, lay *layout.Layout, targets []int64, opts Options) ([]cell, error) {
-	return sizeWindowScratch(w, lay, targets, opts, newSizeScratch(opts))
+	return sizeWindowScratch(context.Background(), w, lay, targets, opts, newSizeScratch(opts))
 }
 
-// sizeWindowScratch is sizeWindow against caller-owned scratch state.
-func sizeWindowScratch(w *window, lay *layout.Layout, targets []int64, opts Options, sc *sizeScratch) ([]cell, error) {
+// sizeWindowScratch is sizeWindow against caller-owned scratch state,
+// solving with the scratch's own (possibly warm-started) solver.
+func sizeWindowScratch(ctx context.Context, w *window, lay *layout.Layout, targets []int64, opts Options, sc *sizeScratch) ([]cell, error) {
+	return sizeWindowWith(ctx, w, lay, targets, opts, sc, sc.solve)
+}
+
+// sizeWindowWith is sizeWindowScratch with an explicit LP solver — the
+// hook the engine's fallback chain uses to retry a window on a different
+// tier without disturbing the scratch's warm solver.
+func sizeWindowWith(ctx context.Context, w *window, lay *layout.Layout, targets []int64, opts Options, sc *sizeScratch, solve dlp.PSolver) ([]cell, error) {
 	if len(w.sel) == 0 {
 		return nil, nil
 	}
@@ -145,8 +154,11 @@ func sizeWindowScratch(w *window, lay *layout.Layout, targets []int64, opts Opti
 	}
 
 	for pass := 0; pass < opts.MaxSizingPasses; pass++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		horizontal := pass%2 == 0
-		changed, err := sizingPass(cells, w, lay, targets, horizontal, opts, sc)
+		changed, err := sizingPass(ctx, cells, w, lay, targets, horizontal, opts, sc, solve)
 		for dropN := 1; errors.Is(err, dlp.ErrInfeasible); dropN *= 2 {
 			// The spacing chains cannot fit: delete the lowest-quality
 			// conflicted cells, doubling the batch on every retry.
@@ -154,7 +166,7 @@ func sizeWindowScratch(w *window, lay *layout.Layout, targets []int64, opts Opti
 			if err != nil {
 				return nil, err
 			}
-			changed, err = sizingPass(cells, w, lay, targets, horizontal, opts, sc)
+			changed, err = sizingPass(ctx, cells, w, lay, targets, horizontal, opts, sc, solve)
 		}
 		if err != nil {
 			return nil, err
@@ -223,8 +235,10 @@ func pruneSurplusScratch(cells []cell, targets []int64, nl int, sc *sizeScratch)
 }
 
 // sizingPass runs one directional LP over all cells in the window,
-// resizing cells in place on success.
-func sizingPass(cells []cell, w *window, lay *layout.Layout, targets []int64, horizontal bool, opts Options, sc *sizeScratch) (bool, error) {
+// resizing cells in place on success. The solution is re-validated
+// against the LP before any geometry is touched, so a misbehaving solver
+// cannot corrupt the window — it can only fail it.
+func sizingPass(ctx context.Context, cells []cell, w *window, lay *layout.Layout, targets []int64, horizontal bool, opts Options, sc *sizeScratch, solve dlp.PSolver) (bool, error) {
 	nl := len(lay.Layers)
 	rules := lay.Rules
 	n := len(cells)
@@ -438,7 +452,7 @@ func sizingPass(cells []cell, w *window, lay *layout.Layout, targets []int64, ho
 		}
 	}
 
-	x, _, err := sc.solve(p)
+	x, _, err := solve(ctx, p)
 	if err != nil {
 		if errors.Is(err, dlp.ErrInfeasible) && spacingPairs > 0 {
 			// The spacing chain cannot fit within the shrink bounds; the
@@ -446,6 +460,9 @@ func sizingPass(cells []cell, w *window, lay *layout.Layout, targets []int64, ho
 			return false, err
 		}
 		return false, fmt.Errorf("fill: sizing LP failed: %w", err)
+	}
+	if err := p.Check(x); err != nil {
+		return false, fmt.Errorf("fill: solver returned invalid solution: %w", err)
 	}
 
 	changed := false

@@ -2,6 +2,7 @@ package gdsii
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 )
 
@@ -19,6 +20,18 @@ func FuzzRead(f *testing.F) {
 	f.Add([]byte{0x00, 0x06, 0x00, 0x02, 0x02, 0x58}) // lone HEADER
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})             // absurd record length
 	f.Add(valid.Bytes()[:10])
+	// Record bomb: header followed by a long run of minimal records,
+	// exercising the MaxRecords cap.
+	bomb := []byte{0x00, 0x06, 0x00, 0x02, 0x02, 0x58}
+	bomb = append(bomb, bytes.Repeat([]byte{0x00, 0x04, RecEndEl, 0x00}, 512)...)
+	f.Add(bomb)
+	// Shape bomb: header followed by a run of bare BOUNDARY records,
+	// exercising the MaxShapes cap.
+	shapes := []byte{0x00, 0x06, 0x00, 0x02, 0x02, 0x58}
+	shapes = append(shapes, bytes.Repeat([]byte{0x00, 0x04, RecBoundary, 0x00}, 512)...)
+	f.Add(shapes)
+	// Record claiming the maximum payload but truncated after the header.
+	f.Add([]byte{0xFF, 0xFF, RecXY, 0x03, 0x00, 0x00})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		lib, err := Read(bytes.NewReader(data))
@@ -32,6 +45,11 @@ func FuzzRead(f *testing.F) {
 				// fewer than 3 points survive parsing); it must not panic.
 				_ = err
 			}
+		}
+		// Tight limits must fail with a clean error (wrapping ErrLimit when
+		// it is the limit that trips), never a panic.
+		if _, err := ReadLimited(bytes.NewReader(data), Limits{MaxRecords: 16, MaxShapes: 2}); err != nil {
+			_ = errors.Is(err, ErrLimit)
 		}
 	})
 }

@@ -110,14 +110,21 @@ func writeBoundary(w io.Writer, b Boundary) error {
 	return writeRecord(w, RecEndEl, DTNone, nil)
 }
 
-// Read parses a GDSII stream into a Library. Unsupported elements (paths,
-// references, texts) are skipped.
+// Read parses a GDSII stream into a Library under DefaultLimits.
+// Unsupported elements (paths, references, texts) are skipped.
 func Read(r io.Reader) (*Library, error) {
+	return ReadLimited(r, DefaultLimits())
+}
+
+// ReadLimited is Read with caller-chosen resource limits; exceeding one
+// returns an error wrapping ErrLimit.
+func ReadLimited(r io.Reader, lim Limits) (*Library, error) {
 	br := bufio.NewReader(r)
 	lib := &Library{}
 	var cur *Structure
 	var curB *Boundary
 	sawHeader := false
+	var records, shapes int64
 	for {
 		rec, err := readRecord(br)
 		if err == io.EOF {
@@ -128,6 +135,10 @@ func Read(r io.Reader) (*Library, error) {
 		}
 		if err != nil {
 			return nil, err
+		}
+		records++
+		if lim.MaxRecords > 0 && records > lim.MaxRecords {
+			return nil, fmt.Errorf("gdsii: %w: more than %d records", ErrLimit, lim.MaxRecords)
 		}
 		switch rec.typ {
 		case RecHeader:
@@ -149,6 +160,10 @@ func Read(r io.Reader) (*Library, error) {
 		case RecEndStr:
 			cur = nil
 		case RecBoundary:
+			shapes++
+			if lim.MaxShapes > 0 && shapes > lim.MaxShapes {
+				return nil, fmt.Errorf("gdsii: %w: more than %d shapes", ErrLimit, lim.MaxShapes)
+			}
 			curB = &Boundary{}
 		case RecLayer:
 			if curB != nil {

@@ -9,7 +9,7 @@ import "math"
 // the three solvers but structurally independent of both SSP and network
 // simplex, which makes it a valuable cross-validation oracle.
 func (g *Graph) SolveCycleCanceling() (*Result, error) {
-	if err := g.checkBalance(); err != nil {
+	if err := g.checkSolvable(); err != nil {
 		return nil, err
 	}
 	n := len(g.supply)

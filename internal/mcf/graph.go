@@ -30,6 +30,7 @@ type Arc struct {
 type Graph struct {
 	supply []int64
 	arcs   []Arc
+	err    error // first construction error; sticky until Reset
 }
 
 // NewGraph returns a graph with n nodes and zero supplies.
@@ -57,6 +58,7 @@ func (g *Graph) Reset(n int) {
 		}
 	}
 	g.arcs = g.arcs[:0]
+	g.err = nil
 }
 
 // AddNode appends a node with zero supply and returns its id.
@@ -74,17 +76,34 @@ func (g *Graph) AddSupply(i int, s int64) { g.supply[i] += s }
 // Supply returns the supply of node i.
 func (g *Graph) Supply(i int) int64 { return g.supply[i] }
 
-// AddArc appends an arc and returns its id. Capacity must be >= 0.
-func (g *Graph) AddArc(from, to int, cap, cost int64) int {
+// AddArc appends an arc and returns its id. Capacity must be >= 0 and
+// both endpoints must be existing nodes; a malformed arc is rejected with
+// an error wrapping ErrBadArc instead of being stored. The error is also
+// recorded on the graph (see Err), so callers building many arcs may
+// ignore the per-call error and check once before solving — the solvers
+// refuse to run a graph with a recorded construction error.
+func (g *Graph) AddArc(from, to int, cap, cost int64) (int, error) {
 	if from < 0 || from >= len(g.supply) || to < 0 || to >= len(g.supply) {
-		panic(fmt.Sprintf("mcf: arc endpoint out of range (%d,%d) with %d nodes", from, to, len(g.supply)))
+		return -1, g.fail(&SolverError{Op: "addarc", Err: fmt.Errorf("%w: endpoint out of range (%d,%d) with %d nodes", ErrBadArc, from, to, len(g.supply))})
 	}
 	if cap < 0 {
-		panic("mcf: negative arc capacity")
+		return -1, g.fail(&SolverError{Op: "addarc", Err: fmt.Errorf("%w: negative capacity %d on (%d,%d)", ErrBadArc, cap, from, to)})
 	}
 	g.arcs = append(g.arcs, Arc{from, to, cap, cost})
-	return len(g.arcs) - 1
+	return len(g.arcs) - 1, nil
 }
+
+// fail records the first construction error and returns err unchanged.
+func (g *Graph) fail(err error) error {
+	if g.err == nil {
+		g.err = err
+	}
+	return err
+}
+
+// Err returns the first construction error recorded on the graph (nil if
+// the graph is well-formed).
+func (g *Graph) Err() error { return g.err }
 
 // Arc returns the i-th arc.
 func (g *Graph) Arc(i int) Arc { return g.arcs[i] }
@@ -100,15 +119,35 @@ type Result struct {
 	Cost int64
 }
 
-// Errors returned by the solvers.
+// Errors returned by the solvers. Together with SolverError they form the
+// failure taxonomy callers dispatch on: ErrBadArc is a construction bug in
+// the caller, ErrUnbalanced/ErrInfeasible/ErrUnbounded describe the
+// instance, and anything else is an internal solver failure.
 var (
 	ErrUnbalanced = errors.New("mcf: node supplies do not sum to zero")
 	ErrInfeasible = errors.New("mcf: no feasible flow")
 	ErrUnbounded  = errors.New("mcf: negative-cost cycle with unbounded capacity")
+	ErrBadArc     = errors.New("mcf: invalid arc")
 )
 
-// checkBalance verifies supplies sum to zero.
-func (g *Graph) checkBalance() error {
+// SolverError wraps a min-cost-flow failure with the operation that
+// produced it. It unwraps to one of the sentinel errors above (or to a
+// context error when a solve was cancelled), so errors.Is dispatch works
+// through it.
+type SolverError struct {
+	Op  string // "addarc", "ssp", "netsimplex", "cyclecancel"
+	Err error
+}
+
+func (e *SolverError) Error() string { return fmt.Sprintf("mcf: %s: %v", e.Op, e.Err) }
+func (e *SolverError) Unwrap() error { return e.Err }
+
+// checkSolvable verifies the graph carries no construction error and that
+// supplies sum to zero.
+func (g *Graph) checkSolvable() error {
+	if g.err != nil {
+		return g.err
+	}
 	var s int64
 	for _, v := range g.supply {
 		s += v

@@ -9,7 +9,7 @@ import "fmt"
 // breaks blocking-arc ties with Cunningham's last-blocking rule to avoid
 // cycling on degenerate pivots.
 func (g *Graph) SolveNetworkSimplex() (*Result, error) {
-	if err := g.checkBalance(); err != nil {
+	if err := g.checkSolvable(); err != nil {
 		return nil, err
 	}
 	n := len(g.supply)

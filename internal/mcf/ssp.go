@@ -1,6 +1,9 @@
 package mcf
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // SolveSSP solves the min-cost flow problem with the successive shortest
 // path algorithm. It is a convenience wrapper over Workspace.SolveSSP with
@@ -16,7 +19,7 @@ import "math"
 func (g *Graph) SolveSSP() (*Result, error) {
 	var ws Workspace
 	out := &Result{}
-	if err := ws.SolveSSP(g, false, out); err != nil {
+	if err := ws.SolveSSP(context.Background(), g, false, out); err != nil {
 		return nil, err
 	}
 	return out, nil

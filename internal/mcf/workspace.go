@@ -1,6 +1,9 @@
 package mcf
 
-import "math"
+import (
+	"context"
+	"math"
+)
 
 // Workspace is a reusable min-cost-flow solver state: the residual-graph
 // arena, the shortest-path buffers and the node potentials of the last
@@ -81,16 +84,26 @@ func growInt(s []int, n int) []int {
 	return s[:n]
 }
 
+// ctxCheckStride is how many augmentations (or SPFA scan rounds) pass
+// between cancellation checks — frequent enough that a cancelled solve
+// returns within microseconds, rare enough to stay off the profile.
+const ctxCheckStride = 64
+
 // SolveSSP solves g by successive shortest paths into out, reusing the
 // workspace buffers. When warm is true and the potentials left by the
 // previous solve are still dual-feasible for g (checked in O(m)), the
 // Bellman-Ford initialization is skipped and every augmentation runs
 // Dijkstra on reduced costs directly.
 //
+// The context is honoured mid-solve: cancellation is checked every
+// ctxCheckStride augmentations, so a runaway instance can be abandoned
+// promptly. A cancelled solve returns a SolverError unwrapping to
+// ctx.Err() and leaves no usable warm-start state.
+//
 // out's slices are resized in place, so a caller that reuses one Result
 // across solves performs no allocations in steady state.
-func (ws *Workspace) SolveSSP(g *Graph, warm bool, out *Result) error {
-	if err := g.checkBalance(); err != nil {
+func (ws *Workspace) SolveSSP(ctx context.Context, g *Graph, warm bool, out *Result) error {
+	if err := g.checkSolvable(); err != nil {
 		return err
 	}
 	n := len(g.supply)
@@ -128,7 +141,7 @@ func (ws *Workspace) SolveSSP(g *Graph, warm bool, out *Result) error {
 	}
 	if !warmOK {
 		ws.pot = growI64(ws.pot, n)
-		if err := ws.initPotentials(n); err != nil {
+		if err := ws.initPotentials(ctx, n); err != nil {
 			return err
 		}
 	} else {
@@ -138,12 +151,18 @@ func (ws *Workspace) SolveSSP(g *Graph, warm bool, out *Result) error {
 	// Successive shortest paths: repeatedly send flow from an excess node
 	// to its nearest deficit node along a shortest path in reduced costs.
 	src := 0
+	augment := 0
 	for {
 		for src < n && ws.excess[src] <= 0 {
 			src++
 		}
 		if src == n {
 			break
+		}
+		if augment++; augment%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return &SolverError{Op: "ssp", Err: err}
+			}
 		}
 		sink, err := ws.dijkstra(n, src)
 		if err != nil {
@@ -203,7 +222,7 @@ func (ws *Workspace) Potentials() []int64 { return ws.pot }
 // Negative cycles are detected via relaxation counting; finite-capacity
 // cycles are cancelled and the search restarts, infinite ones are reported
 // as ErrUnbounded.
-func (ws *Workspace) initPotentials(n int) error {
+func (ws *Workspace) initPotentials(ctx context.Context, n int) error {
 restart:
 	for i := 0; i < n; i++ {
 		ws.dist[i] = 0
@@ -216,6 +235,11 @@ restart:
 		ws.queue = append(ws.queue, i)
 	}
 	for qi := 0; qi < len(ws.queue); qi++ {
+		if qi%(ctxCheckStride*64) == 0 && qi > 0 {
+			if err := ctx.Err(); err != nil {
+				return &SolverError{Op: "ssp", Err: err}
+			}
+		}
 		u := ws.queue[qi]
 		ws.inQueue[u] = false
 		du := ws.dist[u]
@@ -232,7 +256,7 @@ restart:
 					if int(ws.relaxCnt[v]) > n+1 {
 						// Negative cycle somewhere: cancel all of them (or
 						// report unbounded), then redo the search.
-						if err := ws.cancelNegativeCycles(n); err != nil {
+						if err := ws.cancelNegativeCycles(ctx, n); err != nil {
 							return err
 						}
 						goto restart
@@ -257,8 +281,11 @@ restart:
 // infinite indicate an unbounded objective. This is the rare path: it runs
 // only when the SPFA initialization detects a cycle (infeasible or
 // adversarial instances), never on well-formed sizing LPs.
-func (ws *Workspace) cancelNegativeCycles(n int) error {
+func (ws *Workspace) cancelNegativeCycles(ctx context.Context, n int) error {
 	for {
+		if err := ctx.Err(); err != nil {
+			return &SolverError{Op: "ssp", Err: err}
+		}
 		for i := 0; i < n; i++ {
 			ws.dist[i] = 0 // virtual source to all nodes at cost 0
 			ws.prevArc[i] = -1

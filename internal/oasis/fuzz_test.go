@@ -1,0 +1,83 @@
+package oasis
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzRead exercises the OASIS reader with arbitrary byte streams; any
+// input must produce a clean error or a parsed library, never a panic.
+// Run with `go test -fuzz FuzzRead ./internal/oasis` for deep exploration;
+// plain `go test` replays the seed corpus.
+func FuzzRead(f *testing.F) {
+	var valid bytes.Buffer
+	if err := sampleLib().Write(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte(Magic))                          // magic only, truncated body
+	f.Add([]byte(Magic + "\x00\x00\x00\x00"))     // padding then EOF
+	f.Add([]byte(Magic + "\xff\xff\xff\xff\xff")) // huge varint record type
+	f.Add(valid.Bytes()[:len(Magic)+3])
+	// Shape bomb: a run of minimal square rectangles (info byte with only
+	// S|X|Y set reuses all modal state), exercising the MaxShapes cap.
+	bomb := []byte(Magic)
+	bomb = append(bomb, bytes.Repeat([]byte{recRectangle, 0x98, 0x00, 0x00}, 512)...)
+	f.Add(bomb)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		lib, err := Read(bytes.NewReader(data))
+		if err == nil && lib == nil {
+			t.Fatal("nil library without error")
+		}
+		// Tight limits must fail with a clean error (wrapping ErrLimit when
+		// it is the limit that trips), never a panic.
+		if _, err := ReadLimited(bytes.NewReader(data), Limits{MaxRecords: 16, MaxShapes: 2}); err != nil {
+			_ = errors.Is(err, ErrLimit)
+		}
+	})
+}
+
+func TestReadLimitedMaxShapes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleLib().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes() // five rectangles
+
+	if _, err := ReadLimited(bytes.NewReader(valid), Limits{MaxShapes: 5}); err != nil {
+		t.Fatalf("limit equal to shape count must pass: %v", err)
+	}
+	_, err := ReadLimited(bytes.NewReader(valid), Limits{MaxShapes: 4})
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("MaxShapes=4 on 5-shape stream: got %v, want ErrLimit", err)
+	}
+}
+
+func TestReadLimitedMaxRecords(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleLib().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	_, err := ReadLimited(bytes.NewReader(valid), Limits{MaxRecords: 2})
+	if !errors.Is(err, ErrLimit) {
+		t.Fatalf("tiny MaxRecords: got %v, want ErrLimit", err)
+	}
+	if _, err := ReadLimited(bytes.NewReader(valid), Limits{MaxRecords: 1 << 20}); err != nil {
+		t.Fatalf("generous MaxRecords must pass: %v", err)
+	}
+}
+
+func TestReadLimitedZeroIsUnlimited(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleLib().Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadLimited(bytes.NewReader(buf.Bytes()), Limits{}); err != nil {
+		t.Fatalf("Limits{} must be unlimited: %v", err)
+	}
+}

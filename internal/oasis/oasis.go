@@ -2,6 +2,7 @@ package oasis
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -170,9 +171,35 @@ func (l *Library) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
+// ErrLimit is wrapped by ReadLimited errors when an input stream exceeds
+// a configured resource limit; detect it with errors.Is.
+var ErrLimit = errors.New("resource limit exceeded")
+
+// Limits bounds the resources a single parse may consume. A zero field
+// disables that limit, so the zero value Limits{} is fully unlimited.
+type Limits struct {
+	// MaxRecords caps the total number of records in the stream.
+	MaxRecords int64
+	// MaxShapes caps the total number of RECTANGLE elements.
+	MaxShapes int64
+}
+
+// DefaultLimits returns the caps Read enforces: far beyond any realistic
+// fill deck, but finite, so a hostile stream fails cleanly instead of
+// exhausting memory.
+func DefaultLimits() Limits {
+	return Limits{MaxRecords: 256 << 20, MaxShapes: 64 << 20}
+}
+
 // Read parses an OASIS stream produced by this subset (and any stream
-// restricted to the same record types).
+// restricted to the same record types) under DefaultLimits.
 func Read(src io.Reader) (*Library, error) {
+	return ReadLimited(src, DefaultLimits())
+}
+
+// ReadLimited is Read with caller-chosen resource limits; exceeding one
+// returns an error wrapping ErrLimit.
+func ReadLimited(src io.Reader, lim Limits) (*Library, error) {
 	r := &reader{br: bufio.NewReader(src)}
 	magic := make([]byte, len(Magic))
 	if _, err := io.ReadFull(r.br, magic); err != nil {
@@ -186,10 +213,15 @@ func Read(src io.Reader) (*Library, error) {
 		layer, datatype int
 		w, h            int64
 	}
+	var records, shapes int64
 	for {
 		rt, err := r.readUint()
 		if err != nil {
 			return nil, err
+		}
+		records++
+		if lim.MaxRecords > 0 && records > lim.MaxRecords {
+			return nil, fmt.Errorf("oasis: %w: more than %d records", ErrLimit, lim.MaxRecords)
 		}
 		switch rt {
 		case recPad:
@@ -224,6 +256,10 @@ func Read(src io.Reader) (*Library, error) {
 			}
 			lib.Cell = name
 		case recRectangle:
+			shapes++
+			if lim.MaxShapes > 0 && shapes > lim.MaxShapes {
+				return nil, fmt.Errorf("oasis: %w: more than %d shapes", ErrLimit, lim.MaxShapes)
+			}
 			info, err := r.br.ReadByte()
 			if err != nil {
 				return nil, fmt.Errorf("oasis: truncated rectangle: %v", err)
