@@ -3,8 +3,11 @@
 //
 //	fillgen -design s -o s_fill.gds
 //	fillgen -design s -method tile-lp -lambda 1.3
+//	fillgen -design m -stream            # bounded-memory streaming emit
 //
-// It prints the scored report for the run.
+// It prints the scored report for the run (except with -stream, which
+// never assembles the solution in memory and so reports only counts and
+// health).
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"os/signal"
 
 	dummyfill "dummyfill"
+	"dummyfill/internal/exp"
 	"dummyfill/internal/gdsii"
 )
 
@@ -27,15 +31,23 @@ func main() {
 	lambda := flag.Float64("lambda", 0, "candidate overfill factor λ (0 = default)")
 	workers := flag.Int("workers", 0, "window-level parallelism (0 = all cores)")
 	deadline := flag.Duration("deadline", 0, "soft time budget: past it, remaining windows emit unshrunk candidates instead of failing (0 = unlimited)")
+	stream := flag.Bool("stream", false, "stream fills to the output as windows complete (method ours only; bounded memory, no score report)")
+	var prof exp.Profiling
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	// Ctrl-C hard-aborts the run; -deadline degrades it gracefully.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stopSignals()
 
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
+
 	var lay *dummyfill.Layout
 	var coeffs dummyfill.Coefficients
-	var err error
 	if *in != "" {
 		f, ferr := os.Open(*in)
 		if ferr != nil {
@@ -63,6 +75,57 @@ func main() {
 	}
 	opts.Workers = *workers
 	opts.Budget = *deadline
+
+	if *stream {
+		if *method != "ours" {
+			fatal(fmt.Errorf("-stream supports only -method ours, got %q", *method))
+		}
+		path := *out
+		if path == "" {
+			path = *design + "_fill.gds"
+		}
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		sw := gdsii.NewStreamWriter(f)
+		if err := sw.BeginLibrary(lay.Name, 0, 0); err != nil {
+			fatal(err)
+		}
+		if err := sw.BeginStructure("FILL"); err != nil {
+			fatal(err)
+		}
+		nFills := 0
+		res, err := dummyfill.InsertStream(ctx, lay, opts, dummyfill.FillSinkFunc(func(_ int, fills []dummyfill.Fill) error {
+			nFills += len(fills)
+			for _, fl := range fills {
+				if err := sw.WriteRect(fl.Layer+1, gdsii.DatatypeFill, fl.Rect); err != nil {
+					return err
+				}
+			}
+			return nil
+		}))
+		if err != nil {
+			fatal(err)
+		}
+		if err := sw.EndStructure(); err != nil {
+			fatal(err)
+		}
+		if err := sw.Close(); err != nil {
+			fatal(err)
+		}
+		info, err := f.Stat()
+		if err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("design %s, method ours (streamed): %d fills\n", *design, nFills)
+		fmt.Printf("health: %s\n", res.Health)
+		fmt.Printf("wrote %s (%d bytes)\n", path, info.Size())
+		return
+	}
 
 	var chosen *dummyfill.Method
 	for _, m := range dummyfill.AllMethods(opts) {

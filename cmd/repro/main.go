@@ -16,12 +16,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"runtime"
-	"runtime/pprof"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -36,9 +33,8 @@ func main() {
 	designs := flag.String("designs", "s,b,m", "comma-separated design list")
 	formatName := flag.String("format", "text", "output format: text, csv, md")
 	deadline := flag.Duration("deadline", 0, "soft per-run time budget for the fill engine: past it, remaining windows emit unshrunk candidates instead of failing (0 = unlimited)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) while running")
+	var prof exp.Profiling
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
 	// Interrupt (Ctrl-C) hard-aborts in-flight engine runs via context;
@@ -46,38 +42,11 @@ func main() {
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stopSignals()
 
-	if *pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				fmt.Fprintln(os.Stderr, "repro: pprof server:", err)
-			}
-		}()
+	stopProf, err := prof.Start()
+	if err != nil {
+		fatal(err)
 	}
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fatal(err)
-		}
-		defer pprof.StopCPUProfile()
-	}
-	if *memprofile != "" {
-		defer func() {
-			f, err := os.Create(*memprofile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "repro: heap profile:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC()
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "repro: heap profile:", err)
-			}
-		}()
-	}
+	defer stopProf()
 
 	format, err := exp.ParseFormat(*formatName)
 	if err != nil {

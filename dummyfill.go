@@ -69,6 +69,11 @@ type (
 	Report = score.Report
 	// Violation is a DRC error found in a solution.
 	Violation = drc.Violation
+	// FillSink consumes sized fills window by window during a streaming
+	// run (InsertStream): EmitWindow is called in canonical window order.
+	FillSink = fill.Sink
+	// FillSinkFunc adapts a function to a FillSink.
+	FillSinkFunc = fill.SinkFunc
 )
 
 // R constructs a rectangle, normalizing swapped bounds.
@@ -93,6 +98,98 @@ func InsertContext(ctx context.Context, lay *Layout, opts Options) (*Result, err
 		return nil, err
 	}
 	return e.RunContext(ctx)
+}
+
+// InsertStream runs the flow like InsertContext but streams each window's
+// sized fills to sink in canonical window order instead of assembling
+// them into Result.Solution (left empty). The emitted fill set is
+// identical to InsertContext's for any Options.Workers value; only the
+// grouping (per window, window-ordered, not globally sorted) differs.
+// Combined with a streaming writer this bounds peak memory: no run stage
+// holds every candidate or every sized fill at once.
+func InsertStream(ctx context.Context, lay *Layout, opts Options, sink FillSink) (*Result, error) {
+	e, err := fill.New(lay, opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.RunStream(ctx, sink)
+}
+
+// InsertStreamGDS runs the flow and writes the layout's wires plus the
+// sized fills directly to w as GDSII (wires datatype 0, fills datatype 1,
+// like WriteGDS), each window's fills emitted as soon as the window
+// clears the reorder buffer. The output is deterministic for any
+// Options.Workers value: fills appear in canonical window order. It
+// differs from WriteGDS output only in fill record order (window order
+// instead of globally sorted).
+func InsertStreamGDS(ctx context.Context, w io.Writer, lay *Layout, opts Options) (*Result, error) {
+	e, err := fill.New(lay, opts)
+	if err != nil {
+		return nil, err
+	}
+	sw := gdsii.NewStreamWriter(w)
+	if err := sw.BeginLibrary(lay.Name, 0, 0); err != nil {
+		return nil, err
+	}
+	if err := sw.BeginStructure("TOP"); err != nil {
+		return nil, err
+	}
+	for li, layer := range lay.Layers {
+		for _, wr := range layer.Wires {
+			if err := sw.WriteRect(li+1, gdsii.DatatypeWire, wr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	res, err := e.RunStream(ctx, FillSinkFunc(func(_ int, fills []Fill) error {
+		for _, f := range fills {
+			if err := sw.WriteRect(f.Layer+1, gdsii.DatatypeFill, f.Rect); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+	if err != nil {
+		return nil, err
+	}
+	if err := sw.EndStructure(); err != nil {
+		return nil, err
+	}
+	if err := sw.Close(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// InsertStreamOASIS runs the flow and writes the sized fills directly to
+// w as an OASIS stream (fills only, like WriteOASIS), window by window.
+// Deterministic for any Options.Workers value. Modal compression works on
+// the natural per-window size grouping instead of the global size sort of
+// WriteOASIS, trading a slightly larger file for bounded memory.
+func InsertStreamOASIS(ctx context.Context, w io.Writer, lay *Layout, opts Options) (*Result, error) {
+	e, err := fill.New(lay, opts)
+	if err != nil {
+		return nil, err
+	}
+	sw := oasis.NewStreamWriter(w)
+	if err := sw.Begin(lay.Name, 0); err != nil {
+		return nil, err
+	}
+	res, err := e.RunStream(ctx, FillSinkFunc(func(_ int, fills []Fill) error {
+		for _, f := range fills {
+			if err := sw.WriteShape(oasis.Shape{Layer: f.Layer + 1, Datatype: 1, Rect: f.Rect}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}))
+	if err != nil {
+		return nil, err
+	}
+	if err := sw.Close(); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // CheckDRC verifies a solution against the layout's fill rules, including

@@ -125,12 +125,33 @@ func PlanTargets(bounds []LayerBounds, w PlanWeights, steps int) (*Plan, error) 
 		cands[l] = cs
 	}
 
-	evalCombo := func(td []float64) float64 {
-		maps := make([]*grid.Map, nl)
-		for l := range maps {
-			maps[l] = Realize(bounds[l], td[l])
+	// Memoize the per-(layer, candidate) realized-map metrics once: the
+	// density score decomposes into per-layer sums (Σσ, Σline, Σoh), so a
+	// combination's score is three array sums instead of nl map
+	// realizations and metric passes. The search below then evaluates tens
+	// of thousands of combinations over a few dozen precomputed triples,
+	// with float accumulation in the same layer order as DensityScore —
+	// the chosen plan is bit-identical to the unmemoized search.
+	mets := make([][]Metrics, nl)
+	var buf grid.Map
+	for l, b := range bounds {
+		mets[l] = make([]Metrics, len(cands[l]))
+		for ci, c := range cands[l] {
+			realizeInto(&buf, b, c)
+			mets[l][ci] = Measure(&buf)
 		}
-		return DensityScore(maps, w)
+	}
+	evalIdx := func(idx []int) float64 {
+		var sumSigma, sumLine, sumOut float64
+		for l := 0; l < nl; l++ {
+			m := mets[l][idx[l]]
+			sumSigma += m.Sigma
+			sumLine += m.Line
+			sumOut += m.Outlier
+		}
+		return w.AlphaVar*scoreF(sumSigma, w.BetaVar) +
+			w.AlphaLine*scoreF(sumLine, w.BetaLine) +
+			w.AlphaOutlier*scoreF(sumSigma*sumOut, w.BetaOutlier)
 	}
 
 	combos := 1
@@ -142,42 +163,43 @@ func PlanTargets(bounds []LayerBounds, w PlanWeights, steps int) (*Plan, error) 
 	}
 
 	best := &Plan{Td: make([]float64, nl), Score: math.Inf(-1)}
+	idx := make([]int, nl)
 	if combos <= 1<<16 {
 		// Exhaustive joint search.
-		td := make([]float64, nl)
 		var rec func(l int)
 		rec = func(l int) {
 			if l == nl {
-				if s := evalCombo(td); s > best.Score {
+				if s := evalIdx(idx); s > best.Score {
 					best.Score = s
-					copy(best.Td, td)
+					for l, ci := range idx {
+						best.Td[l] = cands[l][ci]
+					}
 				}
 				return
 			}
-			for _, c := range cands[l] {
-				td[l] = c
+			for ci := range cands[l] {
+				idx[l] = ci
 				rec(l + 1)
 			}
 		}
 		rec(0)
 	} else {
 		// Coordinate descent from the per-layer midpoints.
-		td := make([]float64, nl)
-		for l := range td {
-			td[l] = cands[l][len(cands[l])/2]
+		for l := range idx {
+			idx[l] = len(cands[l]) / 2
 		}
-		cur := evalCombo(td)
+		cur := evalIdx(idx)
 		for pass := 0; pass < 8; pass++ {
 			improved := false
 			for l := 0; l < nl; l++ {
-				bestC, bestS := td[l], cur
-				for _, c := range cands[l] {
-					td[l] = c
-					if s := evalCombo(td); s > bestS {
-						bestC, bestS = c, s
+				bestC, bestS := idx[l], cur
+				for ci := range cands[l] {
+					idx[l] = ci
+					if s := evalIdx(idx); s > bestS {
+						bestC, bestS = ci, s
 					}
 				}
-				td[l] = bestC
+				idx[l] = bestC
 				if bestS > cur {
 					cur = bestS
 					improved = true
@@ -188,7 +210,31 @@ func PlanTargets(bounds []LayerBounds, w PlanWeights, steps int) (*Plan, error) 
 			}
 		}
 		best.Score = cur
-		copy(best.Td, td)
+		for l, ci := range idx {
+			best.Td[l] = cands[l][ci]
+		}
 	}
 	return best, nil
+}
+
+// realizeInto is Realize into a reused map buffer (same clamping, no
+// allocation once dst has grown to the layer's window count).
+func realizeInto(dst *grid.Map, b LayerBounds, td float64) {
+	dst.G = b.Lower.G
+	n := len(b.Lower.V)
+	if cap(dst.V) < n {
+		dst.V = make([]float64, n)
+	}
+	dst.V = dst.V[:n]
+	for k, l := range b.Lower.V {
+		u := b.Upper.V[k]
+		switch {
+		case td < l:
+			dst.V[k] = l
+		case td > u:
+			dst.V[k] = u
+		default:
+			dst.V[k] = td
+		}
+	}
 }

@@ -7,7 +7,6 @@ import (
 	"slices"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"dummyfill/internal/density"
 	"dummyfill/internal/geom"
@@ -78,110 +77,18 @@ func (e *Engine) Run() (*Result, error) { return e.RunContext(context.Background
 //
 // The result is deterministic regardless of Workers: every parallel stage
 // writes only window-owned state, fault and fallback decisions are keyed
-// by window index, and the final fill list is assembled in window order
-// and canonically sorted.
+// by window index, and the sized fills are released to the solution in
+// canonical window order (then canonically sorted) no matter how workers
+// were scheduled.
 func (e *Engine) RunContext(ctx context.Context) (*Result, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	wins, err := e.prepareWindows(ctx)
+	sink := &solutionSink{fills: make([]layout.Fill, 0)}
+	res, err := e.runPipeline(ctx, sink)
 	if err != nil {
 		return nil, err
 	}
-
-	// Planning round 1: bounds from tileable candidate area.
-	bounds := e.bounds(wins, nil)
-	plan1, err := density.PlanTargets(bounds, e.planWeights(), e.opts.PlanSteps)
-	if err != nil {
-		return nil, err
-	}
-	e.applyMinDensity(plan1.Td)
-
-	// Candidate generation under plan-1 guidance.
-	err = e.forEachWindow(ctx, wins, func(_ context.Context, _ int, w *window) error {
-		w.selectCandidates(e.lay, plan1.Td, e.opts.Lambda, e.opts.Gamma)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	numCand := 0
-	for _, w := range wins {
-		numCand += len(w.sel)
-	}
-
-	// Planning round 2: bounds restricted to what was actually selected
-	// (§3 — "another round of density planning is performed due to the
-	// inconsistency between candidate fills and initial plans").
-	bounds2 := e.bounds(wins, selectedAreas(wins, len(e.lay.Layers)))
-	plan2, err := density.PlanTargets(bounds2, e.planWeights(), e.opts.PlanSteps)
-	if err != nil {
-		return nil, err
-	}
-	e.applyMinDensity(plan2.Td)
-	uppers := make([]*grid.Map, len(bounds2))
-	for i := range bounds2 {
-		uppers[i] = bounds2[i].Upper
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	// Sizing per window, through the resilient fallback chain. Each worker
-	// draws a reusable scratch (solver arena, LP, spatial indexes) from the
-	// pool, so a worker's warm-started solver state flows from window to
-	// window. Only cancellation can fail this phase; solver trouble
-	// degrades individual windows and is reported via Health.
-	hc := &healthCollector{}
-	scratchPool := sync.Pool{New: func() any { return newSizeScratch(e.opts) }}
-	sized := make([][]layout.Fill, len(wins))
-	err = e.forEachWindow(ctx, wins, func(ctx context.Context, k int, w *window) error {
-		if len(w.sel) == 0 {
-			hc.skipped.Add(1)
-			return nil
-		}
-		sc := scratchPool.Get().(*sizeScratch)
-		defer scratchPool.Put(sc)
-		targets := e.windowTargets(w, plan2.Td, sc)
-		cs, err := e.sizeWindowResilient(ctx, k, w, targets, sc, hc, start)
-		if err != nil {
-			return err
-		}
-		if len(cs) == 0 {
-			return nil
-		}
-		fills := make([]layout.Fill, len(cs))
-		for i, c := range cs {
-			fills[i] = layout.Fill{Layer: c.layer, Rect: c.rect}
-		}
-		sized[k] = fills
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	// Deterministic assembly: window order, then canonical geometric order.
-	total := 0
-	for _, fs := range sized {
-		total += len(fs)
-	}
-	sol := layout.Solution{Fills: make([]layout.Fill, 0, total)}
-	for _, fs := range sized {
-		sol.Fills = append(sol.Fills, fs...)
-	}
-	sortFills(sol.Fills)
-
-	return &Result{
-		Solution:     sol,
-		FirstTargets: plan1.Td,
-		Targets:      plan2.Td,
-		Candidates:   numCand,
-		UpperBounds:  uppers,
-		Windows:      len(wins),
-		Health:       hc.health(len(wins), e.opts.Budget, time.Since(start)),
-	}, nil
+	sortFills(sink.fills)
+	res.Solution = layout.Solution{Fills: sink.fills}
+	return res, nil
 }
 
 // sortFills orders fills by (layer, YL, XL, YH, XH) — a canonical order
@@ -225,19 +132,38 @@ func (e *Engine) applyMinDensity(td []float64) {
 	}
 }
 
+// wireDensities builds the per-layer per-window wire density maps from
+// the window states computed during preparation. Values are bit-identical
+// to layout.WireDensityMap (same union areas, same float division) but
+// cost no extra clipping pass over the layout.
+func (e *Engine) wireDensities(wins []*window) []*grid.Map {
+	nl := len(e.lay.Layers)
+	maps := make([]*grid.Map, nl)
+	for li := 0; li < nl; li++ {
+		m := grid.NewMap(e.g)
+		for k, w := range wins {
+			if wa := float64(w.rect.Area()); wa > 0 {
+				m.V[k] = float64(w.layers[li].wireArea) / wa
+			}
+		}
+		maps[li] = m
+	}
+	return maps
+}
+
 // planWeights derives planning weights from contest α weights with
 // layout-scale βs: planning only needs relative weighting, so βs are set
 // from the unfilled layout's metrics (worst case) to keep all three terms
-// in range.
-func (e *Engine) planWeights() density.PlanWeights {
+// in range. wd are the prep-derived wire density maps.
+func (e *Engine) planWeights(wd []*grid.Map) density.PlanWeights {
 	c := score.ContestAlphas()
 	// Baseline metrics of the unfilled layout.
 	var sumSigma, sumLine, sumOut float64
-	for li := range e.lay.Layers {
-		m := density.Measure(e.lay.WireDensityMap(e.g, li))
-		sumSigma += m.Sigma
-		sumLine += m.Line
-		sumOut += m.Outlier
+	for _, m := range wd {
+		met := density.Measure(m)
+		sumSigma += met.Sigma
+		sumLine += met.Line
+		sumOut += met.Outlier
 	}
 	w := density.PlanWeights{
 		AlphaVar: c.AlphaVar, BetaVar: sumSigma,
@@ -265,8 +191,10 @@ type prepScratch struct {
 
 var prepPool = sync.Pool{New: func() any { return new(prepScratch) }}
 
-// prepareWindows clips fill regions and wires into windows and tiles the
-// free regions into candidate cells.
+// prepareWindows clips fill regions and wires into windows: each window
+// layer ends up with its inset free pieces and the disjoint union slabs
+// (plus exact union area) of its wires. Candidate cells are not
+// materialized here — selection tiles them on demand from the free pieces.
 //
 // The work is sharded per (layer, window-row) stripe: a serial binning
 // pass assigns each shape to the rows it overlaps, then stripe tasks run
@@ -368,7 +296,27 @@ func (e *Engine) prepareWindows(ctx context.Context) ([]*window, error) {
 			}
 		}
 
-		// Wire area per window (union-exact), via per-column clip buckets.
+		// Wires: record per-window incident wire indices (4 bytes each,
+		// retained until the window is emitted) and compute the exact
+		// union wire area from per-column clip buckets. Later stages
+		// re-clip from the indices into pooled scratch on demand — no
+		// stage rescans the layout's full wire list, and no clipped wire
+		// geometry is retained across the run.
+		for i := range cnt {
+			cnt[i] = 0
+		}
+		for _, si := range bins[li].wire[j] {
+			if i0, _, i1, _, ok := e.g.CellRange(layer.Wires[si]); ok {
+				for i := i0; i <= i1; i++ {
+					cnt[i]++
+				}
+			}
+		}
+		for i := 0; i < nx; i++ {
+			if cnt[i] > 0 {
+				wins[j*nx+i].layers[li].wires = make([]int32, 0, cnt[i])
+			}
+		}
 		for _, si := range bins[li].wire[j] {
 			wr := layer.Wires[si]
 			i0, _, i1, _, ok := e.g.CellRange(wr)
@@ -377,6 +325,8 @@ func (e *Engine) prepareWindows(ctx context.Context) ([]*window, error) {
 			}
 			for i := i0; i <= i1; i++ {
 				if c := wr.Intersect(wins[j*nx+i].rect); !c.Empty() {
+					wl := &wins[j*nx+i].layers[li]
+					wl.wires = append(wl.wires, int32(si))
 					clips[i] = append(clips[i], c)
 				}
 			}
@@ -388,22 +338,6 @@ func (e *Engine) prepareWindows(ctx context.Context) ([]*window, error) {
 			}
 		}
 		sc.clips = clips
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	// Tile free regions into candidate cells.
-	err = e.forEachWindow(ctx, wins, func(_ context.Context, _ int, w *window) error {
-		for li := range w.layers {
-			wl := &w.layers[li]
-			for _, fr := range wl.free {
-				for _, r := range TileRegion(fr, e.lay.Rules) {
-					wl.cells = append(wl.cells, cell{rect: r, layer: li})
-				}
-			}
-		}
 		return nil
 	})
 	if err != nil {
@@ -431,8 +365,10 @@ func (e *Engine) bounds(wins []*window, selected [][]int64) []density.LayerBound
 			if selected != nil {
 				fillable = selected[k][li]
 			} else {
-				for _, c := range wl.cells {
-					fillable += c.rect.Area()
+				// Closed-form tileable area per free piece — no cell
+				// materialization.
+				for _, fr := range wl.free {
+					fillable += TileRegionArea(fr, e.lay.Rules)
 				}
 			}
 			lower.V[k] = float64(wl.wireArea) / aw

@@ -465,8 +465,10 @@ func TestEngineOverlayBetterThanGreedy(t *testing.T) {
 	var greedy layout.Solution
 	for _, w := range wins {
 		for li := range w.layers {
-			for _, c := range w.layers[li].cells {
-				greedy.Fills = append(greedy.Fills, layout.Fill{Layer: li, Rect: c.rect})
+			for _, fr := range w.layers[li].free {
+				for _, r := range TileRegion(fr, lay.Rules) {
+					greedy.Fills = append(greedy.Fills, layout.Fill{Layer: li, Rect: r})
+				}
 			}
 		}
 	}

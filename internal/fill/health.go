@@ -39,6 +39,11 @@ type Health struct {
 	Budget time.Duration `json:"budget,omitempty"`
 	// Elapsed is the wall-clock duration of the run.
 	Elapsed time.Duration `json:"elapsed"`
+	// PeakInFlight is the maximum number of windows resident in the
+	// sizing→emit stage at once (claimed by a worker but not yet released
+	// to the sink). It is bounded by the reorder-buffer capacity. Like
+	// Elapsed it depends on worker scheduling, not on the input alone.
+	PeakInFlight int `json:"peak_in_flight,omitempty"`
 }
 
 // Healthy reports whether every window was sized normally: no fallbacks,
@@ -63,7 +68,18 @@ func (h Health) String() string {
 // healthCollector accumulates Health counters across window workers.
 type healthCollector struct {
 	sized, skipped, cold, simplex, degraded, recovered atomic.Int64
+	peak                                               atomic.Int64
 	budgetExceeded                                     atomic.Bool
+}
+
+// notePeak records an observed in-flight peak (max wins).
+func (hc *healthCollector) notePeak(p int) {
+	for {
+		cur := hc.peak.Load()
+		if int64(p) <= cur || hc.peak.CompareAndSwap(cur, int64(p)) {
+			return
+		}
+	}
 }
 
 // health snapshots the counters into a Health report.
@@ -79,5 +95,6 @@ func (hc *healthCollector) health(windows int, budget, elapsed time.Duration) He
 		BudgetExceeded:  hc.budgetExceeded.Load(),
 		Budget:          budget,
 		Elapsed:         elapsed,
+		PeakInFlight:    int(hc.peak.Load()),
 	}
 }

@@ -74,7 +74,7 @@ func (e *Engine) sizeWindowResilient(ctx context.Context, k int, w *window, targ
 		site  faultinject.Site
 		solve dlp.PSolver
 	}{
-		{faultinject.SiteWarmSolve, sc.solve},
+		{faultinject.SiteWarmSolve, sc.solver()},
 		{faultinject.SiteColdSolve, dlp.ViaSSP},
 		{faultinject.SiteSimplexSolve, dlp.ViaSimplexLP},
 	}

@@ -18,12 +18,14 @@ import (
 // thousands of passes; with the scratch the whole loop performs no
 // steady-state allocation. A sizeScratch is not safe for concurrent use.
 type sizeScratch struct {
-	solve dlp.PSolver
-	p     dlp.Problem
+	solve    dlp.PSolver
+	newSolve func() dlp.PSolver
+	p        dlp.Problem
 
-	cells  []cell
-	wireIx []*geom.Index
-	fillIx []*geom.Index
+	cells   []cell
+	wireCov []geom.AreaTable
+	wclips  []geom.Rect
+	fillIx  []*geom.Index
 
 	// Per-layer accumulators.
 	area, surplus, totalCross []int64
@@ -45,9 +47,19 @@ type budgetAcc struct {
 	ovRemovable         int64 // max area the ov class can shed
 }
 
-// newSizeScratch builds a scratch with the solver resolved from opts.
+// newSizeScratch builds a scratch with the solver factory resolved from
+// opts. The solver itself (and its arenas) is created lazily on first use,
+// so scratches for workers that only meet empty windows stay cheap.
 func newSizeScratch(opts Options) *sizeScratch {
-	return &sizeScratch{solve: opts.newSolver()}
+	return &sizeScratch{newSolve: opts.newSolver}
+}
+
+// solver returns the scratch's warm solver, creating it on first use.
+func (sc *sizeScratch) solver() dlp.PSolver {
+	if sc.solve == nil {
+		sc.solve = sc.newSolve()
+	}
+	return sc.solve
 }
 
 // layerSlices resizes the per-layer buffers to nl layers.
@@ -119,7 +131,7 @@ func sizeWindow(w *window, lay *layout.Layout, targets []int64, opts Options) ([
 // sizeWindowScratch is sizeWindow against caller-owned scratch state,
 // solving with the scratch's own (possibly warm-started) solver.
 func sizeWindowScratch(ctx context.Context, w *window, lay *layout.Layout, targets []int64, opts Options, sc *sizeScratch) ([]cell, error) {
-	return sizeWindowWith(ctx, w, lay, targets, opts, sc, sc.solve)
+	return sizeWindowWith(ctx, w, lay, targets, opts, sc, sc.solver())
 }
 
 // sizeWindowWith is sizeWindowScratch with an explicit LP solver — the
@@ -142,15 +154,18 @@ func sizeWindowWith(ctx context.Context, w *window, lay *layout.Layout, targets 
 	// from a closer starting point.
 	cells = pruneSurplusScratch(cells, targets, nl, sc)
 
-	// Wire indexes per layer, window-clipped, reused across passes.
-	sc.wireIx = indexes(sc.wireIx, nl, w.rect)
-	wireIx := sc.wireIx
+	// Wire coverage tables per layer, reused across passes. The clips are
+	// materialized into scratch from the wire indices recorded during
+	// preparation (only the wires incident to this window — no rescan of
+	// the layout's wire list), and the banded area table answers each
+	// per-cell overlay query exactly without a union sweep.
+	if cap(sc.wireCov) < nl {
+		sc.wireCov = make([]geom.AreaTable, nl)
+	}
+	sc.wireCov = sc.wireCov[:nl]
 	for l := 0; l < nl; l++ {
-		for _, wr := range lay.Layers[l].Wires {
-			if c := wr.Intersect(w.rect); !c.Empty() {
-				wireIx[l].Insert(c)
-			}
-		}
+		sc.wclips = w.wireClips(sc.wclips, lay, l)
+		sc.wireCov[l].Build(sc.wclips)
 	}
 
 	for pass := 0; pass < opts.MaxSizingPasses; pass++ {
@@ -251,7 +266,7 @@ func sizingPass(ctx context.Context, cells []cell, w *window, lay *layout.Layout
 	area := growI64(sc.area, nl)
 	sc.area = area
 	sc.fillIx = indexes(sc.fillIx, nl, w.rect)
-	fillIx, wireIx := sc.fillIx, sc.wireIx
+	fillIx, wireCov := sc.fillIx, sc.wireCov
 	for _, c := range cells {
 		area[c.layer] += c.rect.Area()
 		fillIx[c.layer].Insert(c.rect)
@@ -273,13 +288,16 @@ func sizingPass(ctx context.Context, cells []cell, w *window, lay *layout.Layout
 	// Per-cell overlay with neighbour layers at current geometry.
 	ov := growI64(sc.ov, n)
 	sc.ov = ov
+	// Fills of one layer are pairwise disjoint (selection enforces spacing
+	// and sizing only shrinks), so their overlap is a plain intersection
+	// sum; wire coverage comes from the prebuilt summed-area tables.
 	for i, c := range cells {
 		var o int64
 		if c.layer > 0 {
-			o += fillIx[c.layer-1].OverlapArea(c.rect) + wireIx[c.layer-1].OverlapArea(c.rect)
+			o += fillIx[c.layer-1].OverlapAreaDisjoint(c.rect) + wireCov[c.layer-1].OverlapArea(c.rect)
 		}
 		if c.layer+1 < nl {
-			o += fillIx[c.layer+1].OverlapArea(c.rect) + wireIx[c.layer+1].OverlapArea(c.rect)
+			o += fillIx[c.layer+1].OverlapAreaDisjoint(c.rect) + wireCov[c.layer+1].OverlapArea(c.rect)
 		}
 		ov[i] = o
 	}

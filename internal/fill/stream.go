@@ -1,0 +1,338 @@
+package fill
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dummyfill/internal/density"
+	"dummyfill/internal/grid"
+	"dummyfill/internal/layout"
+)
+
+// Sink consumes sized fills as windows complete. EmitWindow is called at
+// most once per window, in strictly increasing window index order (the
+// canonical row-major grid order), from a single goroutine at a time, and
+// only with a non-empty fill slice the sink may retain. A sink error
+// aborts the run.
+type Sink interface {
+	EmitWindow(k int, fills []layout.Fill) error
+}
+
+// SinkFunc adapts a function to a Sink.
+type SinkFunc func(k int, fills []layout.Fill) error
+
+// EmitWindow calls f.
+func (f SinkFunc) EmitWindow(k int, fills []layout.Fill) error { return f(k, fills) }
+
+// solutionSink accumulates emitted fills for Solution assembly.
+type solutionSink struct {
+	fills []layout.Fill
+}
+
+func (s *solutionSink) EmitWindow(_ int, fills []layout.Fill) error {
+	s.fills = append(s.fills, fills...)
+	return nil
+}
+
+// RunStream runs the flow like RunContext but streams each window's sized
+// fills to sink in canonical window order instead of assembling them into
+// Result.Solution (which is left empty). Fills arrive grouped by window —
+// ordered by window index, not globally sorted — which is what the
+// streaming GDSII/OASIS writers need to emit shapes with bounded memory.
+// The emitted fill set is identical to RunContext's for any Workers
+// setting.
+func (e *Engine) RunStream(ctx context.Context, sink Sink) (*Result, error) {
+	return e.runPipeline(ctx, sink)
+}
+
+// runPipeline is the shared two-barrier streaming pipeline behind
+// RunContext and RunStream:
+//
+//	prep (stream) → plan 1 → candgen (stream) → plan 2 → size+emit (stream)
+//
+// The two density-planning rounds are the only global barriers — each
+// needs every window's bounds. Between them the windows flow through the
+// worker pool independently, and after the second barrier each window is
+// sized and released to the sink through a bounded reorder buffer, its
+// working state recycled as soon as it is emitted. No stage materializes
+// all candidate cells or all sized fills at once.
+func (e *Engine) runPipeline(ctx context.Context, sink Sink) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	wins, err := e.prepareWindows(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	// Planning round 1: bounds from tileable candidate area.
+	wd := e.wireDensities(wins)
+	pw := e.planWeights(wd)
+	bounds := e.bounds(wins, nil)
+	plan1, err := density.PlanTargets(bounds, pw, e.opts.PlanSteps)
+	if err != nil {
+		return nil, err
+	}
+	e.applyMinDensity(plan1.Td)
+
+	// Candidate generation under plan-1 guidance. The free pieces are
+	// consumed here: once a window's candidates are selected, only the
+	// selection and the wire slabs are still needed downstream.
+	err = e.forEachWindow(ctx, wins, func(_ context.Context, _ int, w *window) error {
+		w.selectCandidates(e.lay, plan1.Td, e.opts.Lambda, e.opts.Gamma)
+		for li := range w.layers {
+			w.layers[li].free = nil
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	numCand := 0
+	for _, w := range wins {
+		numCand += len(w.sel)
+	}
+
+	// Planning round 2: bounds restricted to what was actually selected
+	// (§3 — "another round of density planning is performed due to the
+	// inconsistency between candidate fills and initial plans").
+	bounds2 := e.bounds(wins, selectedAreas(wins, len(e.lay.Layers)))
+	plan2, err := density.PlanTargets(bounds2, pw, e.opts.PlanSteps)
+	if err != nil {
+		return nil, err
+	}
+	e.applyMinDensity(plan2.Td)
+	uppers := make([]*grid.Map, len(bounds2))
+	for i := range bounds2 {
+		uppers[i] = bounds2[i].Upper
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	hc := &healthCollector{}
+	if err := e.sizeAndEmit(ctx, wins, plan2.Td, sink, hc, start); err != nil {
+		return nil, err
+	}
+
+	return &Result{
+		FirstTargets: plan1.Td,
+		Targets:      plan2.Td,
+		Candidates:   numCand,
+		UpperBounds:  uppers,
+		Windows:      len(wins),
+		Health:       hc.health(len(wins), e.opts.Budget, time.Since(start)),
+	}, nil
+}
+
+// sizeAndEmit is the fused final stage: each window is sized through the
+// resilient fallback chain and its fills released to the sink in
+// canonical window order via a bounded reorder buffer. A window's
+// retained state (selection, wire slabs) is dropped at release, so the
+// number of windows resident between claim and emit is bounded by the
+// buffer capacity regardless of run size. Workers claim windows in
+// ascending order, which guarantees the worker holding the smallest
+// in-flight window always finds buffer space — the stage cannot deadlock.
+//
+// Each worker owns one lazily-initialized sizing scratch for its whole
+// lifetime (the warm solver state flows from window to window), so the
+// run creates exactly min(Workers, windows) scratches.
+func (e *Engine) sizeAndEmit(ctx context.Context, wins []*window, td []float64, sink Sink, hc *healthCollector, start time.Time) error {
+	nw := len(wins)
+	if nw == 0 {
+		return nil
+	}
+
+	produce := func(ctx context.Context, k int, sc *sizeScratch) ([]layout.Fill, error) {
+		w := wins[k]
+		if len(w.sel) == 0 {
+			hc.skipped.Add(1)
+			return nil, nil
+		}
+		targets := e.windowTargets(w, td, sc)
+		cs, err := e.sizeWindowResilient(ctx, k, w, targets, sc, hc, start)
+		if err != nil || len(cs) == 0 {
+			return nil, err
+		}
+		fills := make([]layout.Fill, len(cs))
+		for i, c := range cs {
+			fills[i] = layout.Fill{Layer: c.layer, Rect: c.rect}
+		}
+		return fills, nil
+	}
+	release := func(k int, fills []layout.Fill) error {
+		w := wins[k]
+		w.sel = nil
+		for li := range w.layers {
+			w.layers[li].wires = nil
+		}
+		if len(fills) == 0 {
+			return nil
+		}
+		return sink.EmitWindow(k, fills)
+	}
+
+	workers := e.workerCount(nw)
+	if workers <= 1 {
+		sc := newSizeScratch(e.opts)
+		hc.notePeak(1)
+		for k := 0; k < nw; k++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fills, err := produce(ctx, k, sc)
+			if err != nil {
+				return err
+			}
+			if err := release(k, fills); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Buffer capacity: enough slack that workers rarely stall on an
+	// out-of-order slow window, small enough to bound resident windows.
+	capacity := 2 * workers
+	if capacity < 4 {
+		capacity = 4
+	}
+	if capacity > nw {
+		capacity = nw
+	}
+	rb := newReorderBuffer(capacity, release)
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	// Abort watcher: wakes workers blocked on a full buffer when the run
+	// is cancelled (or a sibling failed and cancelled wctx).
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		<-wctx.Done()
+		rb.abort(context.Cause(wctx))
+	}()
+
+	var (
+		next     atomic.Int64
+		firstErr error
+		once     sync.Once
+		wg       sync.WaitGroup
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := newSizeScratch(e.opts)
+			for wctx.Err() == nil {
+				k := int(next.Add(1)) - 1
+				if k >= nw {
+					return
+				}
+				fills, err := produce(wctx, k, sc)
+				if err == nil {
+					err = rb.deliver(k, fills)
+				}
+				if err != nil {
+					once.Do(func() { firstErr = err })
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	cancel()
+	<-watcherDone
+	if firstErr != nil {
+		return firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	hc.notePeak(rb.peak)
+	return nil
+}
+
+// reorderBuffer releases out-of-order window results in canonical window
+// index order through a bounded ring. deliver(k, …) blocks while k is
+// more than the capacity ahead of the oldest unreleased window; the
+// release callback runs under the buffer lock, serialized in strictly
+// increasing k. Safe against deadlock as long as window indices are
+// claimed in ascending order across the delivering goroutines: the
+// goroutine holding the smallest in-flight index always has k == base.
+type reorderBuffer struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	ring    [][]layout.Fill
+	filled  []bool
+	base    int // next window index to release
+	err     error
+	release func(k int, fills []layout.Fill) error
+	peak    int // max windows in flight (claimed, not yet released)
+}
+
+func newReorderBuffer(capacity int, release func(k int, fills []layout.Fill) error) *reorderBuffer {
+	rb := &reorderBuffer{
+		ring:    make([][]layout.Fill, capacity),
+		filled:  make([]bool, capacity),
+		release: release,
+	}
+	rb.cond = sync.NewCond(&rb.mu)
+	return rb
+}
+
+// deliver hands window k's fills (possibly nil) to the buffer, blocking
+// while the ring has no slot for k. Every claimed window must be
+// delivered exactly once; nil fills still advance the release frontier.
+func (rb *reorderBuffer) deliver(k int, fills []layout.Fill) error {
+	rb.mu.Lock()
+	defer rb.mu.Unlock()
+	n := len(rb.ring)
+	for rb.err == nil && k >= rb.base+n {
+		rb.cond.Wait()
+	}
+	if rb.err != nil {
+		return rb.err
+	}
+	if inFlight := k + 1 - rb.base; inFlight > rb.peak {
+		rb.peak = inFlight
+	}
+	rb.ring[k%n] = fills
+	rb.filled[k%n] = true
+	if k != rb.base {
+		return nil
+	}
+	for rb.filled[rb.base%n] {
+		fills := rb.ring[rb.base%n]
+		rb.ring[rb.base%n] = nil
+		rb.filled[rb.base%n] = false
+		if err := rb.release(rb.base, fills); err != nil {
+			rb.failLocked(err)
+			return err
+		}
+		rb.base++
+	}
+	rb.cond.Broadcast()
+	return nil
+}
+
+// abort fails the buffer, waking all blocked deliverers.
+func (rb *reorderBuffer) abort(err error) {
+	if err == nil {
+		err = context.Canceled
+	}
+	rb.mu.Lock()
+	rb.failLocked(err)
+	rb.mu.Unlock()
+}
+
+func (rb *reorderBuffer) failLocked(err error) {
+	if rb.err == nil {
+		rb.err = err
+	}
+	rb.cond.Broadcast()
+}

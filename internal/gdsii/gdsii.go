@@ -40,74 +40,28 @@ const (
 	DatatypeFill = 1
 )
 
-// Write emits the library as a GDSII stream.
+// Write emits the library as a GDSII stream. It is a convenience over
+// StreamWriter (and produces byte-identical output): the streaming
+// interface avoids materializing Structs for large shape sets.
 func (lib *Library) Write(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	zero12 := make([]int16, 12) // deterministic zero timestamps
-	if err := writeInt16s(bw, RecHeader, 600); err != nil {
-		return err
-	}
-	if err := writeInt16s(bw, RecBgnLib, zero12...); err != nil {
-		return err
-	}
-	if err := writeString(bw, RecLibName, lib.Name); err != nil {
-		return err
-	}
-	uu, mdbu := lib.UserUnit, lib.MeterDBU
-	if uu == 0 {
-		uu = 1e-3
-	}
-	if mdbu == 0 {
-		mdbu = 1e-9
-	}
-	if err := writeReal8s(bw, RecUnits, uu, mdbu); err != nil {
+	sw := NewStreamWriter(w)
+	if err := sw.BeginLibrary(lib.Name, lib.UserUnit, lib.MeterDBU); err != nil {
 		return err
 	}
 	for _, st := range lib.Structs {
-		if err := writeInt16s(bw, RecBgnStr, zero12...); err != nil {
-			return err
-		}
-		if err := writeString(bw, RecStrName, st.Name); err != nil {
+		if err := sw.BeginStructure(st.Name); err != nil {
 			return err
 		}
 		for _, b := range st.Boundaries {
-			if err := writeBoundary(bw, b); err != nil {
+			if err := sw.WriteBoundary(b); err != nil {
 				return err
 			}
 		}
-		if err := writeRecord(bw, RecEndStr, DTNone, nil); err != nil {
+		if err := sw.EndStructure(); err != nil {
 			return err
 		}
 	}
-	if err := writeRecord(bw, RecEndLib, DTNone, nil); err != nil {
-		return err
-	}
-	return bw.Flush()
-}
-
-func writeBoundary(w io.Writer, b Boundary) error {
-	if len(b.Pts) < 3 {
-		return fmt.Errorf("gdsii: boundary needs >= 3 points, got %d", len(b.Pts))
-	}
-	if err := writeRecord(w, RecBoundary, DTNone, nil); err != nil {
-		return err
-	}
-	if err := writeInt16s(w, RecLayer, int16(b.Layer)); err != nil {
-		return err
-	}
-	if err := writeInt16s(w, RecDatatype, int16(b.Datatype)); err != nil {
-		return err
-	}
-	xy := make([]int32, 0, 2*(len(b.Pts)+1))
-	for _, p := range b.Pts {
-		xy = append(xy, int32(p.X), int32(p.Y))
-	}
-	// Close the ring.
-	xy = append(xy, int32(b.Pts[0].X), int32(b.Pts[0].Y))
-	if err := writeInt32s(w, RecXY, xy...); err != nil {
-		return err
-	}
-	return writeRecord(w, RecEndEl, DTNone, nil)
+	return sw.Close()
 }
 
 // Read parses a GDSII stream into a Library under DefaultLimits.

@@ -1,0 +1,154 @@
+package gdsii
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"dummyfill/internal/geom"
+)
+
+// StreamWriter emits a GDSII stream incrementally: library header, then
+// any number of structures, each receiving boundaries one at a time, then
+// the library trailer. It is the bounded-memory counterpart of
+// Library.Write — the whole shape set never has to exist in memory — and
+// Library.Write is implemented on top of it, so both paths produce
+// byte-identical output for the same shape sequence.
+//
+// Call order: BeginLibrary, then for each structure BeginStructure /
+// WriteBoundary·WriteRect… / EndStructure, then Close. A StreamWriter is
+// not safe for concurrent use.
+type StreamWriter struct {
+	bw       *bufio.Writer
+	zero12   [12]int16 // deterministic zero timestamps
+	began    bool
+	inStruct bool
+	closed   bool
+	xy       []int32 // scratch for boundary coordinate records
+}
+
+// NewStreamWriter wraps w; output is buffered and flushed by Close.
+func NewStreamWriter(w io.Writer) *StreamWriter {
+	return &StreamWriter{bw: bufio.NewWriter(w)}
+}
+
+// BeginLibrary writes the library header. Zero uu/mdbu select the
+// defaults (1e-3 user units, 1e-9 meters per database unit).
+func (sw *StreamWriter) BeginLibrary(name string, uu, mdbu float64) error {
+	if sw.began {
+		return fmt.Errorf("gdsii: BeginLibrary called twice")
+	}
+	sw.began = true
+	if err := writeInt16s(sw.bw, RecHeader, 600); err != nil {
+		return err
+	}
+	if err := writeInt16s(sw.bw, RecBgnLib, sw.zero12[:]...); err != nil {
+		return err
+	}
+	if err := writeString(sw.bw, RecLibName, name); err != nil {
+		return err
+	}
+	if uu == 0 {
+		uu = 1e-3
+	}
+	if mdbu == 0 {
+		mdbu = 1e-9
+	}
+	return writeReal8s(sw.bw, RecUnits, uu, mdbu)
+}
+
+// BeginStructure opens a structure (cell).
+func (sw *StreamWriter) BeginStructure(name string) error {
+	if !sw.began || sw.closed {
+		return fmt.Errorf("gdsii: BeginStructure outside an open library")
+	}
+	if sw.inStruct {
+		return fmt.Errorf("gdsii: nested BeginStructure")
+	}
+	sw.inStruct = true
+	if err := writeInt16s(sw.bw, RecBgnStr, sw.zero12[:]...); err != nil {
+		return err
+	}
+	return writeString(sw.bw, RecStrName, name)
+}
+
+// WriteBoundary emits one polygon element into the open structure.
+func (sw *StreamWriter) WriteBoundary(b Boundary) error {
+	if !sw.inStruct {
+		return fmt.Errorf("gdsii: WriteBoundary outside a structure")
+	}
+	if len(b.Pts) < 3 {
+		return fmt.Errorf("gdsii: boundary needs >= 3 points, got %d", len(b.Pts))
+	}
+	if err := writeRecord(sw.bw, RecBoundary, DTNone, nil); err != nil {
+		return err
+	}
+	if err := writeInt16s(sw.bw, RecLayer, int16(b.Layer)); err != nil {
+		return err
+	}
+	if err := writeInt16s(sw.bw, RecDatatype, int16(b.Datatype)); err != nil {
+		return err
+	}
+	xy := sw.xy[:0]
+	for _, p := range b.Pts {
+		xy = append(xy, int32(p.X), int32(p.Y))
+	}
+	// Close the ring.
+	xy = append(xy, int32(b.Pts[0].X), int32(b.Pts[0].Y))
+	sw.xy = xy
+	if err := writeInt32s(sw.bw, RecXY, xy...); err != nil {
+		return err
+	}
+	return writeRecord(sw.bw, RecEndEl, DTNone, nil)
+}
+
+// WriteRect emits one rectangle as a 4-point boundary — identical bytes
+// to WriteBoundary over rectBoundary, without building the Boundary.
+func (sw *StreamWriter) WriteRect(layer, datatype int, r geom.Rect) error {
+	if !sw.inStruct {
+		return fmt.Errorf("gdsii: WriteRect outside a structure")
+	}
+	if err := writeRecord(sw.bw, RecBoundary, DTNone, nil); err != nil {
+		return err
+	}
+	if err := writeInt16s(sw.bw, RecLayer, int16(layer)); err != nil {
+		return err
+	}
+	if err := writeInt16s(sw.bw, RecDatatype, int16(datatype)); err != nil {
+		return err
+	}
+	xy := append(sw.xy[:0],
+		int32(r.XL), int32(r.YL), int32(r.XH), int32(r.YL),
+		int32(r.XH), int32(r.YH), int32(r.XL), int32(r.YH),
+		int32(r.XL), int32(r.YL))
+	sw.xy = xy
+	if err := writeInt32s(sw.bw, RecXY, xy...); err != nil {
+		return err
+	}
+	return writeRecord(sw.bw, RecEndEl, DTNone, nil)
+}
+
+// EndStructure closes the open structure.
+func (sw *StreamWriter) EndStructure() error {
+	if !sw.inStruct {
+		return fmt.Errorf("gdsii: EndStructure without BeginStructure")
+	}
+	sw.inStruct = false
+	return writeRecord(sw.bw, RecEndStr, DTNone, nil)
+}
+
+// Close writes the library trailer and flushes. The StreamWriter is
+// unusable afterwards.
+func (sw *StreamWriter) Close() error {
+	if sw.closed {
+		return nil
+	}
+	if sw.inStruct {
+		return fmt.Errorf("gdsii: Close with an open structure")
+	}
+	sw.closed = true
+	if err := writeRecord(sw.bw, RecEndLib, DTNone, nil); err != nil {
+		return err
+	}
+	return sw.bw.Flush()
+}

@@ -142,6 +142,21 @@ func (ix *Index) OverlapArea(q Rect) int64 {
 	return UnionArea(pieces)
 }
 
+// OverlapAreaDisjoint returns the total area of q covered by indexed
+// rectangles, assuming the indexed set is pairwise disjoint: overlap is
+// then the plain sum of pairwise intersections, with no union sweep per
+// query. Callers are responsible for the disjointness invariant (selected
+// candidate cells of one layer and union slabs are disjoint by
+// construction).
+func (ix *Index) OverlapAreaDisjoint(q Rect) int64 {
+	var area int64
+	ix.Query(q, func(_ int, r Rect) bool {
+		area += r.Intersect(q).Area()
+		return true
+	})
+	return area
+}
+
 // AnyWithin reports whether any indexed rectangle lies within spacing s of
 // q (expansion-overlap test), excluding the rect with id == skip (pass -1
 // to exclude none).

@@ -33,142 +33,19 @@ type Library struct {
 //
 // Write sorts nothing: callers control the shape order, and grouping
 // same-size shapes (as fill solutions naturally do) maximizes modal
-// reuse.
+// reuse. It is a convenience over StreamWriter and produces byte-identical
+// output for the same shape sequence.
 func (l *Library) Write(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(Magic); err != nil {
+	sw := NewStreamWriter(w)
+	if err := sw.Begin(l.Cell, l.Unit); err != nil {
 		return err
 	}
-	// START: version, unit, offset-flag 0 + 12 zero table offsets.
-	if err := writeUint(bw, recStart); err != nil {
-		return err
-	}
-	if err := writeString(bw, "1.0"); err != nil {
-		return err
-	}
-	unit := l.Unit
-	if unit == 0 {
-		unit = 1000
-	}
-	if err := writeRealWhole(bw, unit); err != nil {
-		return err
-	}
-	if err := writeUint(bw, 0); err != nil { // offset-flag: table offsets here
-		return err
-	}
-	for i := 0; i < 12; i++ {
-		if err := writeUint(bw, 0); err != nil {
-			return err
-		}
-	}
-
-	cell := l.Cell
-	if cell == "" {
-		cell = "TOP"
-	}
-	if err := writeUint(bw, recCellStr); err != nil {
-		return err
-	}
-	if err := writeString(bw, cell); err != nil {
-		return err
-	}
-
-	// Modal state.
-	type modal struct {
-		layer, datatype int
-		w, h            int64
-		valid           bool
-	}
-	var m modal
 	for _, s := range l.Shapes {
-		r := s.Rect
-		if r.Empty() {
-			return fmt.Errorf("oasis: empty rectangle %v", r)
-		}
-		var info byte
-		// Bits: S(7) W(6) H(5) X(4) Y(3) R(2) D(1) L(0).
-		info |= 1 << 4 // X always present
-		info |= 1 << 3 // Y always present
-		if !m.valid || s.Layer != m.layer {
-			info |= 1 << 0
-		}
-		if !m.valid || s.Datatype != m.datatype {
-			info |= 1 << 1
-		}
-		square := r.W() == r.H()
-		if square {
-			info |= 1 << 7
-			if !m.valid || r.W() != m.w {
-				info |= 1 << 6
-			}
-		} else {
-			if !m.valid || r.W() != m.w {
-				info |= 1 << 6
-			}
-			if !m.valid || r.H() != m.h {
-				info |= 1 << 5
-			}
-		}
-		if err := writeUint(bw, recRectangle); err != nil {
+		if err := sw.WriteShape(s); err != nil {
 			return err
 		}
-		if err := bw.WriteByte(info); err != nil {
-			return err
-		}
-		if info&(1<<0) != 0 {
-			if err := writeUint(bw, uint64(s.Layer)); err != nil {
-				return err
-			}
-		}
-		if info&(1<<1) != 0 {
-			if err := writeUint(bw, uint64(s.Datatype)); err != nil {
-				return err
-			}
-		}
-		if info&(1<<6) != 0 {
-			if err := writeUint(bw, uint64(r.W())); err != nil {
-				return err
-			}
-		}
-		if info&(1<<5) != 0 {
-			if err := writeUint(bw, uint64(r.H())); err != nil {
-				return err
-			}
-		}
-		if err := writeSint(bw, r.XL); err != nil {
-			return err
-		}
-		if err := writeSint(bw, r.YL); err != nil {
-			return err
-		}
-		m.layer, m.datatype = s.Layer, s.Datatype
-		m.w = r.W()
-		if square {
-			m.h = r.W()
-		} else {
-			m.h = r.H()
-		}
-		m.valid = true
 	}
-
-	// END record padded to exactly 256 bytes: type byte + padding string +
-	// validation scheme 0.
-	if err := writeUint(bw, recEnd); err != nil {
-		return err
-	}
-	// 256 = 1 (type) + 2 (string length can be 1 or 2 bytes; pad is 252
-	// so length 252 encodes in 2 bytes) + 252 (padding) + 1 (validation).
-	pad := make([]byte, 252)
-	if err := writeUint(bw, uint64(len(pad))); err != nil {
-		return err
-	}
-	if _, err := bw.Write(pad); err != nil {
-		return err
-	}
-	if err := writeUint(bw, 0); err != nil { // validation: none
-		return err
-	}
-	return bw.Flush()
+	return sw.Close()
 }
 
 // ErrLimit is wrapped by ReadLimited errors when an input stream exceeds
