@@ -1,9 +1,11 @@
 // Command fillgen runs the dummy fill insertion flow on a synthetic
-// design and writes the solution GDSII (fills only, datatype 1):
+// design and writes the solution (fills only, datatype 1):
 //
 //	fillgen -design s -o s_fill.gds
 //	fillgen -design s -method tile-lp -lambda 1.3
-//	fillgen -design m -stream            # bounded-memory streaming emit
+//	fillgen -design m -stream              # bounded-memory streaming emit
+//	fillgen -in chip.oas -format auto      # ingest any registered format
+//	fillgen -design b -oformat oasis       # emit the solution as OASIS
 //
 // It prints the scored report for the run (except with -stream, which
 // never assembles the solution in memory and so reports only counts and
@@ -16,18 +18,25 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 
 	dummyfill "dummyfill"
+	"dummyfill/cmd/internal/ingestfmt"
 	"dummyfill/internal/exp"
 	"dummyfill/internal/gdsii"
+	"dummyfill/internal/layio"
+	"dummyfill/internal/oasis"
+	"dummyfill/internal/textfmt"
 )
 
 func main() {
 	design := flag.String("design", "s", "design name: s, b, m or tiny (ignored with -in)")
-	in := flag.String("in", "", "input GDSII layout (wires datatype 0); overrides -design")
-	window := flag.Int64("window", 0, "window size for -in layouts (0 = die/16)")
+	in := flag.String("in", "", "input layout file; overrides -design")
+	format := flag.String("format", "auto", "input layout format for -in: auto (sniff), "+strings.Join(dummyfill.Formats(), ", "))
+	oformat := flag.String("oformat", "gds", "output solution format: "+strings.Join(dummyfill.Formats(), ", "))
+	window := flag.Int64("window", 0, "window size for -in layouts without one (0 = die/16)")
 	method := flag.String("method", "ours", "fill method: ours, tile-lp, montecarlo, greedy")
-	out := flag.String("o", "", "output solution GDSII path (default <design>_fill.gds)")
+	out := flag.String("o", "", "output solution path (default <design>_fill.<ext>)")
 	lambda := flag.Float64("lambda", 0, "candidate overfill factor λ (0 = default)")
 	workers := flag.Int("workers", 0, "window-level parallelism (0 = all cores)")
 	deadline := flag.Duration("deadline", 0, "soft time budget: past it, remaining windows emit unshrunk candidates instead of failing (0 = unlimited)")
@@ -46,6 +55,11 @@ func main() {
 	}
 	defer stopProf()
 
+	ofmt, err := layio.Lookup(*oformat)
+	if err != nil {
+		fatal(err)
+	}
+
 	var lay *dummyfill.Layout
 	var coeffs dummyfill.Coefficients
 	if *in != "" {
@@ -53,10 +67,7 @@ func main() {
 		if ferr != nil {
 			fatal(ferr)
 		}
-		lay, err = dummyfill.ReadGDSLayout(f, dummyfill.IngestOptions{
-			Window: *window,
-			Rules:  dummyfill.Rules{MinWidth: 8, MinSpace: 8, MinArea: 64, MaxFillDim: 400},
-		})
+		lay, err = ingestfmt.Read(f, *format, dummyfill.IngestOptions{Window: *window})
 		f.Close()
 		if err != nil {
 			fatal(err)
@@ -82,33 +93,27 @@ func main() {
 		}
 		path := *out
 		if path == "" {
-			path = *design + "_fill.gds"
+			path = *design + "_fill." + outExt(ofmt.Name)
 		}
 		f, err := os.Create(path)
 		if err != nil {
 			fatal(err)
 		}
-		sw := gdsii.NewStreamWriter(f)
-		if err := sw.BeginLibrary(lay.Name, 0, 0); err != nil {
-			fatal(err)
-		}
-		if err := sw.BeginStructure("FILL"); err != nil {
+		sw, err := ofmt.NewShapeWriter(f, layio.Header{Name: lay.Name, Struct: "FILL"})
+		if err != nil {
 			fatal(err)
 		}
 		nFills := 0
 		res, err := dummyfill.InsertStream(ctx, lay, opts, dummyfill.FillSinkFunc(func(_ int, fills []dummyfill.Fill) error {
 			nFills += len(fills)
 			for _, fl := range fills {
-				if err := sw.WriteRect(fl.Layer+1, gdsii.DatatypeFill, fl.Rect); err != nil {
+				if err := sw.Write(layio.Shape{Layer: fl.Layer, Datatype: layio.DatatypeFill, Rect: fl.Rect}); err != nil {
 					return err
 				}
 			}
 			return nil
 		}))
 		if err != nil {
-			fatal(err)
-		}
-		if err := sw.EndStructure(); err != nil {
 			fatal(err)
 		}
 		if err := sw.Close(); err != nil {
@@ -154,14 +159,14 @@ func main() {
 
 	path := *out
 	if path == "" {
-		path = *design + "_fill.gds"
+		path = *design + "_fill." + outExt(ofmt.Name)
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		fatal(err)
 	}
 	defer f.Close()
-	if err := gdsii.FromSolution(lay.Name, sol).Write(f); err != nil {
+	if err := writeSolution(f, ofmt.Name, lay, sol); err != nil {
 		fatal(err)
 	}
 	info, err := f.Stat()
@@ -169,6 +174,34 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s (%d bytes)\n", path, info.Size())
+}
+
+// writeSolution emits the solution deck in the chosen format using the
+// batch writers (globally sorted shapes, best compression); the -stream
+// path uses the streaming registry writers instead.
+func writeSolution(w *os.File, format string, lay *dummyfill.Layout, sol *dummyfill.Solution) error {
+	switch format {
+	case gdsii.FormatName:
+		return gdsii.FromSolution(lay.Name, sol).Write(w)
+	case oasis.FormatName:
+		return oasis.FromSolution(lay.Name, sol).Write(w)
+	case textfmt.FormatName:
+		return textfmt.WriteSolution(w, lay.Name, sol)
+	default:
+		return fmt.Errorf("unknown output format %q", format)
+	}
+}
+
+// outExt picks the conventional file extension for a format name.
+func outExt(format string) string {
+	switch format {
+	case oasis.FormatName:
+		return "oas"
+	case textfmt.FormatName:
+		return "txt"
+	default:
+		return "gds"
+	}
 }
 
 func fatal(err error) {

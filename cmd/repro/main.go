@@ -6,7 +6,8 @@
 //	repro -exp fig6                         # the worked dual min-cost-flow example
 //	repro -exp cmp                          # post-CMP planarity motivation
 //	repro -exp all -designs s,b,m           # everything
-//	repro -exp table3 -format csv           # machine-readable output
+//	repro -exp table3 -render csv           # machine-readable output
+//	repro -in design.gds -format auto       # Table 3 on an external layout
 //
 // The experiment logic lives in internal/exp; this command only parses
 // flags, measures runtime/memory, and renders.
@@ -23,6 +24,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	dummyfill "dummyfill"
+	"dummyfill/cmd/internal/ingestfmt"
 	"dummyfill/internal/cmppad"
 	"dummyfill/internal/exp"
 	"dummyfill/internal/fill"
@@ -31,7 +34,10 @@ import (
 func main() {
 	expName := flag.String("exp", "all", "experiment: table2, table3, fig6, cmp, all")
 	designs := flag.String("designs", "s,b,m", "comma-separated design list")
-	formatName := flag.String("format", "text", "output format: text, csv, md")
+	render := flag.String("render", "text", "output rendering: text, csv, md")
+	in := flag.String("in", "", "external layout file: run Table 3 on it instead of the synthetic designs")
+	formatName := flag.String("format", "auto", "input layout format for -in: auto (sniff), "+strings.Join(dummyfill.Formats(), ", "))
+	window := flag.Int64("window", 0, "window size for -in layouts without one (0 = die/16)")
 	deadline := flag.Duration("deadline", 0, "soft per-run time budget for the fill engine: past it, remaining windows emit unshrunk candidates instead of failing (0 = unlimited)")
 	var prof exp.Profiling
 	prof.RegisterFlags(flag.CommandLine)
@@ -48,7 +54,7 @@ func main() {
 	}
 	defer stopProf()
 
-	format, err := exp.ParseFormat(*formatName)
+	format, err := exp.ParseFormat(*render)
 	if err != nil {
 		fatal(err)
 	}
@@ -62,6 +68,27 @@ func main() {
 	opts.Budget = *deadline
 	out := os.Stdout
 	text := format == exp.Text
+
+	if *in != "" {
+		if *expName != "table3" && *expName != "all" {
+			fatal(fmt.Errorf("-in supports only -exp table3 (or all), got %q", *expName))
+		}
+		d, err := loadDesign(*in, *formatName, *window)
+		if err != nil {
+			fatal(err)
+		}
+		if text {
+			fmt.Printf("== Table 3 on %s (%s) ==\n", *in, d.Name)
+		}
+		rows, err := exp.Table3Designs(ctx, []exp.Design{d}, opts, measure)
+		if err != nil {
+			fatal(err)
+		}
+		if err := exp.RenderTable3(out, format, rows); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	ran := false
 	if *expName == "table2" || *expName == "all" {
@@ -141,6 +168,31 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "repro:", err)
 	os.Exit(1)
+}
+
+// loadDesign ingests an external layout (format "auto" sniffs from the
+// first bytes) and calibrates contest-style coefficients for it. Binary
+// formats carry no fill rules, so those get the default rule deck; text
+// layouts keep the rules they declare.
+func loadDesign(path, format string, window int64) (exp.Design, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return exp.Design{}, err
+	}
+	defer f.Close()
+	lay, err := ingestfmt.Read(f, format, dummyfill.IngestOptions{Window: window})
+	if err != nil {
+		return exp.Design{}, err
+	}
+	coeffs, err := dummyfill.Calibrate(lay, 60, 4096)
+	if err != nil {
+		return exp.Design{}, err
+	}
+	name := lay.Name
+	if name == "" {
+		name = path
+	}
+	return exp.Design{Name: name, Lay: lay, Coeffs: coeffs}, nil
 }
 
 // measure times f and samples peak live heap (5 ms period), mirroring the

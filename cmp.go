@@ -8,6 +8,7 @@ import (
 	"dummyfill/internal/gdsii"
 	"dummyfill/internal/grid"
 	"dummyfill/internal/ingest"
+	"dummyfill/internal/layio"
 	"dummyfill/internal/score"
 	"dummyfill/internal/textfmt"
 )
@@ -57,13 +58,39 @@ func LayoutFromGDS(lib *gdsii.Library, opts IngestOptions) (*Layout, error) {
 	return ingest.FromGDS(lib, opts)
 }
 
-// ReadGDSLayout reads a GDSII stream and builds a Layout in one step.
-func ReadGDSLayout(r interface{ Read([]byte) (int, error) }, opts IngestOptions) (*Layout, error) {
-	lib, err := gdsii.Read(r)
+// Formats returns the registered layout format names, sorted — the
+// accepted values of ReadLayoutFormat and InsertStreamTo, and of the
+// CLIs' -format flags.
+func Formats() []string { return layio.Formats() }
+
+// ReadLayout sniffs the stream's format from its first bytes (GDSII
+// header record, OASIS magic, or text grammar keyword) and builds a
+// Layout from it, streaming shapes straight into construction — no
+// per-format intermediate library is materialized. Zero IngestOptions
+// fields defer to metadata the stream itself carries (text layouts name
+// their die, window and rules; binary formats need Rules set).
+func ReadLayout(r io.Reader, opts IngestOptions) (*Layout, error) {
+	f, br, err := layio.DetectReader(r)
 	if err != nil {
 		return nil, err
 	}
-	return ingest.FromGDS(lib, opts)
+	return ingest.FromShapes(f.NewShapeReader(br, f.Limits), opts)
+}
+
+// ReadLayoutFormat is ReadLayout with the format fixed by name instead
+// of sniffed (see Formats).
+func ReadLayoutFormat(r io.Reader, format string, opts IngestOptions) (*Layout, error) {
+	f, err := layio.Lookup(format)
+	if err != nil {
+		return nil, err
+	}
+	return ingest.FromShapes(f.NewShapeReader(r, f.Limits), opts)
+}
+
+// ReadGDSLayout reads a GDSII stream and builds a Layout in one step,
+// streaming shapes straight into construction.
+func ReadGDSLayout(r interface{ Read([]byte) (int, error) }, opts IngestOptions) (*Layout, error) {
+	return ingest.FromShapes(gdsii.NewShapeReader(r, gdsii.DefaultLimits()), opts)
 }
 
 // WriteTextLayout emits the layout in the line-oriented text format (see

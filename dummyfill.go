@@ -32,6 +32,7 @@ import (
 	"dummyfill/internal/fill"
 	"dummyfill/internal/gdsii"
 	"dummyfill/internal/geom"
+	"dummyfill/internal/layio"
 	"dummyfill/internal/layout"
 	"dummyfill/internal/oasis"
 	"dummyfill/internal/score"
@@ -115,44 +116,55 @@ func InsertStream(ctx context.Context, lay *Layout, opts Options, sink FillSink)
 	return e.RunStream(ctx, sink)
 }
 
-// InsertStreamGDS runs the flow and writes the layout's wires plus the
-// sized fills directly to w as GDSII (wires datatype 0, fills datatype 1,
-// like WriteGDS), each window's fills emitted as soon as the window
-// clears the reorder buffer. The output is deterministic for any
-// Options.Workers value: fills appear in canonical window order. It
-// differs from WriteGDS output only in fill record order (window order
-// instead of globally sorted).
-func InsertStreamGDS(ctx context.Context, w io.Writer, lay *Layout, opts Options) (*Result, error) {
+// InsertStreamTo runs the flow and writes the result directly to w in
+// the named format (see Formats), each window's fills emitted as soon as
+// the window clears the reorder buffer. Formats that carry wires (GDSII)
+// get the layout's wires first (datatype 0), then fills (datatype 1);
+// fills-only formats (OASIS, text solutions) get just the fills. The
+// output is deterministic for any Options.Workers value: fills appear in
+// canonical window order. Combined with a streaming reader this bounds
+// peak memory end to end: no stage holds every candidate or sized fill.
+func InsertStreamTo(ctx context.Context, w io.Writer, lay *Layout, opts Options, format string) (*Result, error) {
+	f, err := layio.Lookup(format)
+	if err != nil {
+		return nil, err
+	}
 	e, err := fill.New(lay, opts)
 	if err != nil {
 		return nil, err
 	}
-	sw := gdsii.NewStreamWriter(w)
-	if err := sw.BeginLibrary(lay.Name, 0, 0); err != nil {
+	sw, err := f.NewShapeWriter(w, layio.Header{Name: lay.Name, Struct: "TOP"})
+	if err != nil {
 		return nil, err
 	}
-	if err := sw.BeginStructure("TOP"); err != nil {
-		return nil, err
-	}
-	for li, layer := range lay.Layers {
-		for _, wr := range layer.Wires {
-			if err := sw.WriteRect(li+1, gdsii.DatatypeWire, wr); err != nil {
-				return nil, err
+	if f.EmitsWires {
+		n := 0
+		for li, layer := range lay.Layers {
+			for _, wr := range layer.Wires {
+				// Re-check cancellation periodically: the wire preamble of a
+				// large design is written before the engine (which polls ctx
+				// itself) ever runs.
+				if n%1024 == 0 {
+					if err := ctx.Err(); err != nil {
+						return nil, err
+					}
+				}
+				n++
+				if err := sw.Write(layio.Shape{Layer: li, Datatype: layio.DatatypeWire, Rect: wr}); err != nil {
+					return nil, err
+				}
 			}
 		}
 	}
 	res, err := e.RunStream(ctx, FillSinkFunc(func(_ int, fills []Fill) error {
 		for _, f := range fills {
-			if err := sw.WriteRect(f.Layer+1, gdsii.DatatypeFill, f.Rect); err != nil {
+			if err := sw.Write(layio.Shape{Layer: f.Layer, Datatype: layio.DatatypeFill, Rect: f.Rect}); err != nil {
 				return err
 			}
 		}
 		return nil
 	}))
 	if err != nil {
-		return nil, err
-	}
-	if err := sw.EndStructure(); err != nil {
 		return nil, err
 	}
 	if err := sw.Close(); err != nil {
@@ -161,35 +173,18 @@ func InsertStreamGDS(ctx context.Context, w io.Writer, lay *Layout, opts Options
 	return res, nil
 }
 
-// InsertStreamOASIS runs the flow and writes the sized fills directly to
-// w as an OASIS stream (fills only, like WriteOASIS), window by window.
-// Deterministic for any Options.Workers value. Modal compression works on
-// the natural per-window size grouping instead of the global size sort of
-// WriteOASIS, trading a slightly larger file for bounded memory.
+// InsertStreamGDS is InsertStreamTo in GDSII: wires plus fills, like
+// WriteGDS but window-ordered.
+func InsertStreamGDS(ctx context.Context, w io.Writer, lay *Layout, opts Options) (*Result, error) {
+	return InsertStreamTo(ctx, w, lay, opts, gdsii.FormatName)
+}
+
+// InsertStreamOASIS is InsertStreamTo in OASIS: fills only, like
+// WriteOASIS but with modal compression over the natural per-window size
+// grouping instead of the global size sort, trading a slightly larger
+// file for bounded memory.
 func InsertStreamOASIS(ctx context.Context, w io.Writer, lay *Layout, opts Options) (*Result, error) {
-	e, err := fill.New(lay, opts)
-	if err != nil {
-		return nil, err
-	}
-	sw := oasis.NewStreamWriter(w)
-	if err := sw.Begin(lay.Name, 0); err != nil {
-		return nil, err
-	}
-	res, err := e.RunStream(ctx, FillSinkFunc(func(_ int, fills []Fill) error {
-		for _, f := range fills {
-			if err := sw.WriteShape(oasis.Shape{Layer: f.Layer + 1, Datatype: 1, Rect: f.Rect}); err != nil {
-				return err
-			}
-		}
-		return nil
-	}))
-	if err != nil {
-		return nil, err
-	}
-	if err := sw.Close(); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return InsertStreamTo(ctx, w, lay, opts, oasis.FormatName)
 }
 
 // CheckDRC verifies a solution against the layout's fill rules, including
@@ -244,12 +239,26 @@ func WriteOASIS(w io.Writer, lay *Layout, sol *Solution) error {
 
 // ReadGDSShapes parses a GDSII stream and returns per-layer wire and fill
 // rectangles (datatype 0 = wires, 1 = fills; polygons are decomposed).
+// The stream is consumed incrementally — no intermediate library is
+// materialized.
 func ReadGDSShapes(r io.Reader) (wires, fills map[int][]Rect, err error) {
-	lib, err := gdsii.Read(r)
-	if err != nil {
-		return nil, nil, err
+	sr := gdsii.NewShapeReader(r, gdsii.DefaultLimits())
+	wires, fills = map[int][]Rect{}, map[int][]Rect{}
+	for {
+		s, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if s.Datatype == gdsii.DatatypeFill {
+			fills[s.Layer] = append(fills[s.Layer], s.Rect)
+		} else {
+			wires[s.Layer] = append(wires[s.Layer], s.Rect)
+		}
 	}
-	return lib.ExtractShapes()
+	return wires, fills, nil
 }
 
 // GenerateBenchmark builds one of the synthetic contest-style designs

@@ -115,10 +115,20 @@ func Table3(designs []string, opts fill.Options, measure MeasureFn) ([]Table3Row
 	return Table3Ctx(context.Background(), designs, opts, measure)
 }
 
+// Design is one ready-to-run evaluation input: a layout plus its
+// calibrated score coefficients. Table3Ctx builds these from the
+// synthetic suite; callers with external layouts (ingested GDSII/OASIS/
+// text files) construct their own.
+type Design struct {
+	Name   string
+	Lay    *layout.Layout
+	Coeffs score.Coefficients
+}
+
 // Table3Ctx is Table3 under a context: cancellation aborts between (and,
 // for the engine, inside) method runs.
 func Table3Ctx(ctx context.Context, designs []string, opts fill.Options, measure MeasureFn) ([]Table3Row, error) {
-	var out []Table3Row
+	ds := make([]Design, 0, len(designs))
 	for _, n := range designs {
 		sp, err := synth.ByName(n)
 		if err != nil {
@@ -132,6 +142,16 @@ func Table3Ctx(ctx context.Context, designs []string, opts fill.Options, measure
 		if err != nil {
 			return nil, err
 		}
+		ds = append(ds, Design{Name: n, Lay: lay, Coeffs: coeffs})
+	}
+	return Table3Designs(ctx, ds, opts, measure)
+}
+
+// Table3Designs runs every method on every pre-built design.
+func Table3Designs(ctx context.Context, designs []Design, opts fill.Options, measure MeasureFn) ([]Table3Row, error) {
+	var out []Table3Row
+	for _, d := range designs {
+		n, lay, coeffs := d.Name, d.Lay, d.Coeffs
 		for _, m := range Methods(opts) {
 			var sol *layout.Solution
 			var health *fill.Health

@@ -51,5 +51,16 @@ func FuzzRead(f *testing.F) {
 		if _, err := ReadLimited(bytes.NewReader(data), Limits{MaxRecords: 16, MaxShapes: 2}); err != nil {
 			_ = errors.Is(err, ErrLimit)
 		}
+		// The streaming reader must drain any input without panicking and
+		// with sticky errors (a failed Next keeps failing).
+		sr := NewShapeReader(bytes.NewReader(data), Limits{MaxRecords: 4096, MaxShapes: 256})
+		for {
+			if _, err := sr.Next(); err != nil {
+				if _, err2 := sr.Next(); err2 != err {
+					t.Fatalf("non-sticky ShapeReader error: %v then %v", err, err2)
+				}
+				break
+			}
+		}
 	})
 }

@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"dummyfill/internal/geom"
+	"dummyfill/internal/layio"
 	"dummyfill/internal/layout"
 )
 
@@ -231,16 +232,5 @@ func (lib *Library) ExtractShapes() (wires, fills map[int][]geom.Rect, err error
 
 // EncodedSize returns the byte size the library would occupy on disk.
 func (lib *Library) EncodedSize() (int64, error) {
-	var cw countWriter
-	if err := lib.Write(&cw); err != nil {
-		return 0, err
-	}
-	return cw.n, nil
-}
-
-type countWriter struct{ n int64 }
-
-func (c *countWriter) Write(p []byte) (int, error) {
-	c.n += int64(len(p))
-	return len(p), nil
+	return layio.EncodedSize(lib.Write)
 }

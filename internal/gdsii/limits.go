@@ -1,27 +1,20 @@
 package gdsii
 
-import "errors"
+import "dummyfill/internal/layio"
 
 // ErrLimit is wrapped by ReadLimited errors when an input stream exceeds
-// a configured resource limit; detect it with errors.Is. It guards the
-// ingest path against hostile or corrupted streams whose record counts
-// would otherwise drive unbounded allocation or parse time.
-var ErrLimit = errors.New("resource limit exceeded")
+// a configured resource limit; detect it with errors.Is. It is the
+// shared layio sentinel, so errors.Is works across formats.
+var ErrLimit = layio.ErrLimit
 
-// Limits bounds the resources a single parse may consume. A zero field
-// disables that limit, so the zero value Limits{} is fully unlimited.
-type Limits struct {
-	// MaxRecords caps the total number of records in the stream. The
-	// format already bounds each record's payload at 65531 bytes, so this
-	// also caps total parse work.
-	MaxRecords int64
-	// MaxShapes caps the total number of BOUNDARY elements.
-	MaxShapes int64
-}
+// Limits bounds the resources a single parse may consume — the shared
+// layio ingest-cap type. A zero field disables that limit, so the zero
+// value Limits{} is fully unlimited. The format already bounds each
+// record's payload at 65531 bytes, so MaxRecords also caps total parse
+// work; MaxShapes caps the number of BOUNDARY elements.
+type Limits = layio.Limits
 
 // DefaultLimits returns the caps Read enforces: far beyond any realistic
 // fill deck, but finite, so a length-bomb stream fails cleanly instead of
 // exhausting memory.
-func DefaultLimits() Limits {
-	return Limits{MaxRecords: 256 << 20, MaxShapes: 64 << 20}
-}
+func DefaultLimits() Limits { return layio.DefaultLimits() }

@@ -1,0 +1,76 @@
+package ingest_test
+
+import (
+	"bytes"
+	"runtime"
+	"testing"
+
+	dummyfill "dummyfill"
+	"dummyfill/internal/gdsii"
+	"dummyfill/internal/ingest"
+)
+
+// allocTotal runs f and returns its cumulative allocation in bytes
+// (TotalAlloc delta — deterministic, unlike sampled live heap).
+func allocTotal(t *testing.T, f func()) uint64 {
+	t.Helper()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	f()
+	runtime.ReadMemStats(&after)
+	return after.TotalAlloc - before.TotalAlloc
+}
+
+// TestStreamingIngestAllocBelowLibrary guards the point of the streaming
+// reader path: ingesting a real deck (design "m") through FromShapes
+// must allocate measurably less than parsing a full gdsii.Library first
+// and ingesting that. The 0.95 factor leaves headroom for allocator
+// noise while still failing if someone reintroduces materialization on
+// the streaming path.
+func TestStreamingIngestAllocBelowLibrary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc comparison on design m skipped under -short")
+	}
+	lay, _, err := dummyfill.GenerateBenchmark("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var deck bytes.Buffer
+	if err := dummyfill.WriteGDS(&deck, lay, nil); err != nil {
+		t.Fatal(err)
+	}
+	data := deck.Bytes()
+	opts := ingest.Options{Die: lay.Die, Window: lay.Window, Rules: lay.Rules}
+
+	var libLay, strLay *dummyfill.Layout
+	libAlloc := allocTotal(t, func() {
+		lib, err := gdsii.Read(bytes.NewReader(data))
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		libLay, err = ingest.FromGDS(lib, opts)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	strAlloc := allocTotal(t, func() {
+		var err error
+		strLay, err = ingest.FromShapes(gdsii.NewShapeReader(bytes.NewReader(data), gdsii.DefaultLimits()), opts)
+		if err != nil {
+			t.Error(err)
+		}
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+	if libLay.NumShapes() != strLay.NumShapes() {
+		t.Fatalf("paths disagree: library %d shapes, stream %d", libLay.NumShapes(), strLay.NumShapes())
+	}
+	t.Logf("deck %d bytes, %d shapes: library path %d B allocated, streaming path %d B (%.2fx)",
+		len(data), strLay.NumShapes(), libAlloc, strAlloc, float64(strAlloc)/float64(libAlloc))
+	if float64(strAlloc) > 0.95*float64(libAlloc) {
+		t.Fatalf("streaming ingest allocated %d B, library path %d B: want stream ≤ 0.95× library", strAlloc, libAlloc)
+	}
+}

@@ -1,0 +1,150 @@
+package layio
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
+
+// The layio package itself imports no format package, so this test
+// binary's registry holds exactly the fakes registered here.
+
+func fakeFormat(name string, magic byte) Format {
+	return Format{
+		Name:   name,
+		Detect: func(prefix []byte) bool { return len(prefix) > 0 && prefix[0] == magic },
+		NewShapeReader: func(r io.Reader, lim Limits) ShapeReader {
+			return eofReader{}
+		},
+		NewShapeWriter: func(w io.Writer, h Header) (ShapeWriter, error) {
+			return nopWriter{}, nil
+		},
+	}
+}
+
+type eofReader struct{}
+
+func (eofReader) Next() (Shape, error) { return Shape{}, io.EOF }
+func (eofReader) Header() Header       { return Header{} }
+
+type nopWriter struct{}
+
+func (nopWriter) Write(Shape) error { return nil }
+func (nopWriter) Close() error      { return nil }
+
+func init() {
+	Register(fakeFormat("zzfake", 'Z'))
+	Register(fakeFormat("aafake", 'A'))
+}
+
+func TestRegisterPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		f    Format
+	}{
+		{"missing name", fakeFormat("", 'X')},
+		{"missing detect", func() Format { f := fakeFormat("x", 'X'); f.Detect = nil; return f }()},
+		{"missing reader", func() Format { f := fakeFormat("x", 'X'); f.NewShapeReader = nil; return f }()},
+		{"missing writer", func() Format { f := fakeFormat("x", 'X'); f.NewShapeWriter = nil; return f }()},
+		{"duplicate", fakeFormat("zzfake", 'Z')},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Register(%s) did not panic", tc.name)
+				}
+			}()
+			Register(tc.f)
+		})
+	}
+}
+
+func TestFormatsSorted(t *testing.T) {
+	got := Formats()
+	if len(got) != 2 || got[0] != "aafake" || got[1] != "zzfake" {
+		t.Fatalf("Formats() = %v, want [aafake zzfake]", got)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	f, err := Lookup("aafake")
+	if err != nil || f.Name != "aafake" {
+		t.Fatalf("Lookup(aafake) = %v, %v", f.Name, err)
+	}
+	_, err = Lookup("nope")
+	if !errors.Is(err, ErrUnknownFormat) {
+		t.Fatalf("Lookup(nope) error %v, want ErrUnknownFormat", err)
+	}
+	// The message names the alternatives so a CLI user can self-correct.
+	for _, want := range []string{"nope", "aafake", "zzfake"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("Lookup error %q does not mention %q", err, want)
+		}
+	}
+}
+
+func TestDetect(t *testing.T) {
+	f, err := Detect([]byte("Z rest of stream"))
+	if err != nil || f.Name != "zzfake" {
+		t.Fatalf("Detect(Z...) = %v, %v", f.Name, err)
+	}
+	if _, err := Detect([]byte("unclaimed")); !errors.Is(err, ErrUnknownFormat) {
+		t.Fatalf("Detect(unclaimed) error %v, want ErrUnknownFormat", err)
+	}
+	if _, err := Detect(nil); !errors.Is(err, ErrUnknownFormat) {
+		t.Fatalf("Detect(nil) error %v, want ErrUnknownFormat", err)
+	}
+}
+
+func TestDetectReader(t *testing.T) {
+	// Shorter than SniffLen: Peek returns io.EOF, which must not abort
+	// detection, and the returned reader must replay the whole stream.
+	const stream = "A short stream"
+	f, br, err := DetectReader(strings.NewReader(stream))
+	if err != nil || f.Name != "aafake" {
+		t.Fatalf("DetectReader = %v, %v", f.Name, err)
+	}
+	rest, err := io.ReadAll(br)
+	if err != nil || string(rest) != stream {
+		t.Fatalf("post-detect read = %q, %v; want full stream", rest, err)
+	}
+
+	// A tiny bufio.Reader upstream can surface ErrBufferFull from Peek;
+	// DetectReader must tolerate that too.
+	small := bufio.NewReaderSize(strings.NewReader(strings.Repeat("Z", 2*SniffLen)), 16)
+	if f, _, err := DetectReader(small); err != nil || f.Name != "zzfake" {
+		t.Fatalf("DetectReader(small buffer) = %v, %v", f.Name, err)
+	}
+
+	if _, _, err := DetectReader(strings.NewReader("???")); !errors.Is(err, ErrUnknownFormat) {
+		t.Fatalf("DetectReader(unknown) error %v, want ErrUnknownFormat", err)
+	}
+}
+
+func TestCountWriter(t *testing.T) {
+	var cw CountWriter
+	for _, chunk := range []string{"abc", "", "defg"} {
+		n, err := cw.Write([]byte(chunk))
+		if err != nil || n != len(chunk) {
+			t.Fatalf("Write(%q) = %d, %v", chunk, n, err)
+		}
+	}
+	if cw.N != 7 {
+		t.Fatalf("CountWriter.N = %d, want 7", cw.N)
+	}
+
+	n, err := EncodedSize(func(w io.Writer) error {
+		_, err := w.Write(bytes.Repeat([]byte{0}, 100))
+		return err
+	})
+	if err != nil || n != 100 {
+		t.Fatalf("EncodedSize = %d, %v; want 100", n, err)
+	}
+	wantErr := errors.New("emit failed")
+	if _, err := EncodedSize(func(io.Writer) error { return wantErr }); err != wantErr {
+		t.Fatalf("EncodedSize error = %v, want %v", err, wantErr)
+	}
+}

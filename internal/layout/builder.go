@@ -1,0 +1,125 @@
+package layout
+
+import (
+	"fmt"
+
+	"dummyfill/internal/geom"
+)
+
+// MaxBuilderLayers caps the layer stack a Builder will grow to. Layer
+// ids come straight off untrusted streams; without a cap a single
+// hostile shape on layer 2^40 would allocate a dense slice that large.
+// Real processes stop well short of 65536 routing layers.
+const MaxBuilderLayers = 1 << 16
+
+// Builder constructs a Layout incrementally, so streaming readers can
+// add shapes as they are parsed without materializing an intermediate
+// per-format library. Errors are sticky: after the first failure every
+// method is a no-op and Build reports the error, so call sites can chain
+// adds unchecked.
+type Builder struct {
+	lay *Layout
+	err error
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{lay: &Layout{}}
+}
+
+// SetName sets the layout name.
+func (b *Builder) SetName(name string) *Builder {
+	if b.err == nil {
+		b.lay.Name = name
+	}
+	return b
+}
+
+// SetDie sets the die rectangle.
+func (b *Builder) SetDie(die geom.Rect) *Builder {
+	if b.err == nil {
+		b.lay.Die = die
+	}
+	return b
+}
+
+// SetWindow sets the density-analysis window size.
+func (b *Builder) SetWindow(w int64) *Builder {
+	if b.err == nil {
+		b.lay.Window = w
+	}
+	return b
+}
+
+// SetRules sets the fill rule set.
+func (b *Builder) SetRules(r Rules) *Builder {
+	if b.err == nil {
+		b.lay.Rules = r
+	}
+	return b
+}
+
+// EnsureLayers grows the layer stack to at least n layers.
+func (b *Builder) EnsureLayers(n int) *Builder {
+	if b.err != nil {
+		return b
+	}
+	if n > MaxBuilderLayers {
+		b.err = fmt.Errorf("layout: layer count %d exceeds cap %d", n, MaxBuilderLayers)
+		return b
+	}
+	for len(b.lay.Layers) < n {
+		b.lay.Layers = append(b.lay.Layers, &Layer{})
+	}
+	return b
+}
+
+// AddWire appends a wire rectangle to the given layer, growing the
+// stack as needed.
+func (b *Builder) AddWire(layer int, r geom.Rect) *Builder {
+	if l := b.layer(layer); l != nil {
+		l.Wires = append(l.Wires, r)
+	}
+	return b
+}
+
+// AddFillRegion appends a feasible-fill-region rectangle to the given
+// layer, growing the stack as needed.
+func (b *Builder) AddFillRegion(layer int, r geom.Rect) *Builder {
+	if l := b.layer(layer); l != nil {
+		l.FillRegions = append(l.FillRegions, r)
+	}
+	return b
+}
+
+func (b *Builder) layer(li int) *Layer {
+	if b.err != nil {
+		return nil
+	}
+	if li < 0 {
+		b.err = fmt.Errorf("layout: negative layer id %d", li)
+		return nil
+	}
+	if b.EnsureLayers(li + 1); b.err != nil {
+		return nil
+	}
+	return b.lay.Layers[li]
+}
+
+// NumLayers reports the current layer-stack depth.
+func (b *Builder) NumLayers() int { return len(b.lay.Layers) }
+
+// Err reports the first error any earlier call recorded.
+func (b *Builder) Err() error { return b.err }
+
+// Build validates and returns the layout. The Builder must not be used
+// afterwards.
+func (b *Builder) Build() (*Layout, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.lay.Validate(); err != nil {
+		return nil, err
+	}
+	return b.lay, nil
+}

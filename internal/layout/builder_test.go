@@ -1,0 +1,71 @@
+package layout
+
+import (
+	"strings"
+	"testing"
+
+	"dummyfill/internal/geom"
+)
+
+func TestBuilderBuild(t *testing.T) {
+	rules := Rules{MinWidth: 2, MinSpace: 1, MinArea: 4}
+	lay, err := NewBuilder().
+		SetName("chip").
+		SetDie(geom.Rect{XL: 0, YL: 0, XH: 100, YH: 100}).
+		SetWindow(25).
+		SetRules(rules).
+		AddWire(0, geom.Rect{XL: 10, YL: 10, XH: 20, YH: 20}).
+		AddWire(1, geom.Rect{XL: 30, YL: 30, XH: 40, YH: 40}).
+		AddFillRegion(0, geom.Rect{XL: 50, YL: 50, XH: 60, YH: 60}).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lay.Name != "chip" || len(lay.Layers) != 2 {
+		t.Fatalf("built %q with %d layers, want chip with 2", lay.Name, len(lay.Layers))
+	}
+	if len(lay.Layers[0].Wires) != 1 || len(lay.Layers[0].FillRegions) != 1 || len(lay.Layers[1].Wires) != 1 {
+		t.Fatalf("shape counts wrong: %+v", lay.Layers)
+	}
+}
+
+func TestBuilderStickyError(t *testing.T) {
+	b := NewBuilder().AddWire(-3, geom.Rect{XL: 0, YL: 0, XH: 1, YH: 1})
+	if b.Err() == nil || !strings.Contains(b.Err().Error(), "negative layer id -3") {
+		t.Fatalf("Err() = %v, want negative layer id", b.Err())
+	}
+	// Every later call must be a no-op and Build must report the first
+	// error, not a validation error from the half-built layout.
+	first := b.Err()
+	b.SetName("late").AddWire(0, geom.Rect{XL: 0, YL: 0, XH: 1, YH: 1})
+	if b.NumLayers() != 0 {
+		t.Fatalf("sticky builder still grew to %d layers", b.NumLayers())
+	}
+	if _, err := b.Build(); err != first {
+		t.Fatalf("Build() error %v, want first error %v", err, first)
+	}
+}
+
+func TestBuilderLayerCap(t *testing.T) {
+	b := NewBuilder().EnsureLayers(MaxBuilderLayers)
+	if b.Err() != nil {
+		t.Fatalf("EnsureLayers(cap) failed: %v", b.Err())
+	}
+	b = NewBuilder().AddWire(MaxBuilderLayers, geom.Rect{XL: 0, YL: 0, XH: 1, YH: 1})
+	if b.Err() == nil || !strings.Contains(b.Err().Error(), "exceeds cap") {
+		t.Fatalf("Err() = %v, want layer-cap error", b.Err())
+	}
+}
+
+func TestBuilderValidates(t *testing.T) {
+	// A wire escaping the die must fail Build via Layout.Validate.
+	_, err := NewBuilder().
+		SetDie(geom.Rect{XL: 0, YL: 0, XH: 10, YH: 10}).
+		SetWindow(5).
+		SetRules(Rules{MinWidth: 1, MinArea: 1}).
+		AddWire(0, geom.Rect{XL: 5, YL: 5, XH: 15, YH: 15}).
+		Build()
+	if err == nil || !strings.Contains(err.Error(), "escapes die") {
+		t.Fatalf("Build() error %v, want escapes-die validation error", err)
+	}
+}

@@ -1,13 +1,11 @@
 package oasis
 
 import (
-	"bufio"
-	"errors"
-	"fmt"
 	"io"
 	"sort"
 
 	"dummyfill/internal/geom"
+	"dummyfill/internal/layio"
 	"dummyfill/internal/layout"
 )
 
@@ -49,24 +47,19 @@ func (l *Library) Write(w io.Writer) error {
 }
 
 // ErrLimit is wrapped by ReadLimited errors when an input stream exceeds
-// a configured resource limit; detect it with errors.Is.
-var ErrLimit = errors.New("resource limit exceeded")
+// a configured resource limit; detect it with errors.Is. It is the
+// shared layio sentinel, so errors.Is works across formats.
+var ErrLimit = layio.ErrLimit
 
-// Limits bounds the resources a single parse may consume. A zero field
-// disables that limit, so the zero value Limits{} is fully unlimited.
-type Limits struct {
-	// MaxRecords caps the total number of records in the stream.
-	MaxRecords int64
-	// MaxShapes caps the total number of RECTANGLE elements.
-	MaxShapes int64
-}
+// Limits bounds the resources a single parse may consume — the shared
+// layio ingest-cap type. A zero field disables that limit, so the zero
+// value Limits{} is fully unlimited.
+type Limits = layio.Limits
 
 // DefaultLimits returns the caps Read enforces: far beyond any realistic
 // fill deck, but finite, so a hostile stream fails cleanly instead of
 // exhausting memory.
-func DefaultLimits() Limits {
-	return Limits{MaxRecords: 256 << 20, MaxShapes: 64 << 20}
-}
+func DefaultLimits() Limits { return layio.DefaultLimits() }
 
 // Read parses an OASIS stream produced by this subset (and any stream
 // restricted to the same record types) under DefaultLimits.
@@ -75,127 +68,28 @@ func Read(src io.Reader) (*Library, error) {
 }
 
 // ReadLimited is Read with caller-chosen resource limits; exceeding one
-// returns an error wrapping ErrLimit.
+// returns an error wrapping ErrLimit. It is a materializing convenience
+// over ShapeReader, which parses the same stream incrementally.
 func ReadLimited(src io.Reader, lim Limits) (*Library, error) {
-	r := &reader{br: bufio.NewReader(src)}
-	magic := make([]byte, len(Magic))
-	if _, err := io.ReadFull(r.br, magic); err != nil {
-		return nil, fmt.Errorf("oasis: missing magic: %v", err)
-	}
-	if string(magic) != Magic {
-		return nil, fmt.Errorf("oasis: bad magic %q", magic)
-	}
+	sr := NewShapeReader(src, lim)
 	lib := &Library{}
-	var m struct {
-		layer, datatype int
-		w, h            int64
-	}
-	var records, shapes int64
 	for {
-		rt, err := r.readUint()
+		s, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
 		if err != nil {
 			return nil, err
 		}
-		records++
-		if lim.MaxRecords > 0 && records > lim.MaxRecords {
-			return nil, fmt.Errorf("oasis: %w: more than %d records", ErrLimit, lim.MaxRecords)
-		}
-		switch rt {
-		case recPad:
-			// padding byte, skip
-		case recStart:
-			if _, err := r.readString(); err != nil { // version
-				return nil, err
-			}
-			unit, err := r.readReal()
-			if err != nil {
-				return nil, err
-			}
-			if unit < 0 {
-				return nil, fmt.Errorf("oasis: negative unit")
-			}
-			lib.Unit = uint64(unit)
-			flag, err := r.readUint()
-			if err != nil {
-				return nil, err
-			}
-			if flag == 0 {
-				for i := 0; i < 12; i++ {
-					if _, err := r.readUint(); err != nil {
-						return nil, err
-					}
-				}
-			}
-		case recCellStr:
-			name, err := r.readString()
-			if err != nil {
-				return nil, err
-			}
-			lib.Cell = name
-		case recRectangle:
-			shapes++
-			if lim.MaxShapes > 0 && shapes > lim.MaxShapes {
-				return nil, fmt.Errorf("oasis: %w: more than %d shapes", ErrLimit, lim.MaxShapes)
-			}
-			info, err := r.br.ReadByte()
-			if err != nil {
-				return nil, fmt.Errorf("oasis: truncated rectangle: %v", err)
-			}
-			if info&(1<<0) != 0 {
-				v, err := r.readUint()
-				if err != nil {
-					return nil, err
-				}
-				m.layer = int(v)
-			}
-			if info&(1<<1) != 0 {
-				v, err := r.readUint()
-				if err != nil {
-					return nil, err
-				}
-				m.datatype = int(v)
-			}
-			if info&(1<<6) != 0 {
-				v, err := r.readUint()
-				if err != nil {
-					return nil, err
-				}
-				m.w = int64(v)
-			}
-			if info&(1<<7) != 0 { // square: height follows width
-				m.h = m.w
-			} else if info&(1<<5) != 0 {
-				v, err := r.readUint()
-				if err != nil {
-					return nil, err
-				}
-				m.h = int64(v)
-			}
-			var x, y int64
-			if info&(1<<4) != 0 {
-				if x, err = r.readSint(); err != nil {
-					return nil, err
-				}
-			}
-			if info&(1<<3) != 0 {
-				if y, err = r.readSint(); err != nil {
-					return nil, err
-				}
-			}
-			if info&(1<<2) != 0 {
-				return nil, fmt.Errorf("oasis: repetitions not supported by this subset")
-			}
-			lib.Shapes = append(lib.Shapes, Shape{
-				Layer:    m.layer,
-				Datatype: m.datatype,
-				Rect:     geom.Rect{XL: x, YL: y, XH: x + m.w, YH: y + m.h},
-			})
-		case recEnd:
-			return lib, nil
-		default:
-			return nil, fmt.Errorf("oasis: unsupported record type %d", rt)
-		}
+		lib.Shapes = append(lib.Shapes, Shape{
+			Layer:    s.Layer + 1,
+			Datatype: s.Datatype,
+			Rect:     s.Rect,
+		})
 	}
+	lib.Cell = sr.Header().Name
+	lib.Unit = sr.Unit()
+	return lib, nil
 }
 
 // FromSolution converts a fill solution into an OASIS library, grouping
@@ -239,18 +133,7 @@ func sortShapesForModalReuse(shapes []Shape) {
 
 // EncodedSize returns the byte size the library would occupy on disk.
 func (l *Library) EncodedSize() (int64, error) {
-	var cw countWriter
-	if err := l.Write(&cw); err != nil {
-		return 0, err
-	}
-	return cw.n, nil
-}
-
-type countWriter struct{ n int64 }
-
-func (c *countWriter) Write(p []byte) (int, error) {
-	c.n += int64(len(p))
-	return len(p), nil
+	return layio.EncodedSize(l.Write)
 }
 
 func sortSlice(shapes []Shape, less func(a, b Shape) bool) {

@@ -27,6 +27,7 @@ import (
 	"strings"
 
 	"dummyfill/internal/geom"
+	"dummyfill/internal/layio"
 	"dummyfill/internal/layout"
 )
 
@@ -50,86 +51,38 @@ func WriteLayout(w io.Writer, lay *layout.Layout) error {
 	return bw.Flush()
 }
 
-// ReadLayout parses the text format into a Layout (validated).
+// ReadLayout parses the text format into a Layout (validated). It is a
+// materializing convenience over the streaming parser, restricted to the
+// layout grammar.
 func ReadLayout(r io.Reader) (*layout.Layout, error) {
+	sr := newShapeReader(r, Limits{}, modeLayout)
 	lay := &layout.Layout{}
-	cur := -1
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		fields := strings.Fields(line)
-		bad := func(msg string) error {
-			return fmt.Errorf("textfmt: line %d: %s: %q", lineNo, msg, line)
-		}
-		switch fields[0] {
-		case "layout":
-			if len(fields) != 2 {
-				return nil, bad("layout needs a name")
-			}
-			lay.Name = fields[1]
-		case "die":
-			r, err := parseRect(fields[1:])
-			if err != nil {
-				return nil, bad(err.Error())
-			}
-			lay.Die = r
-		case "window":
-			if len(fields) != 2 {
-				return nil, bad("window needs a size")
-			}
-			v, err := strconv.ParseInt(fields[1], 10, 64)
-			if err != nil {
-				return nil, bad(err.Error())
-			}
-			lay.Window = v
-		case "rules":
-			if len(fields) != 5 {
-				return nil, bad("rules needs 4 values")
-			}
-			vals, err := parseInts(fields[1:])
-			if err != nil {
-				return nil, bad(err.Error())
-			}
-			lay.Rules = layout.Rules{
-				MinWidth: vals[0], MinSpace: vals[1],
-				MinArea: vals[2], MaxFillDim: vals[3],
-			}
-		case "layer":
-			if len(fields) != 2 {
-				return nil, bad("layer needs an index")
-			}
-			idx, err := strconv.Atoi(fields[1])
-			if err != nil || idx != len(lay.Layers) {
-				return nil, bad("layer indices must be sequential from 0")
-			}
+	ensure := func(n int) {
+		for len(lay.Layers) < n {
 			lay.Layers = append(lay.Layers, &layout.Layer{})
-			cur = idx
-		case "wire", "region":
-			if cur < 0 {
-				return nil, bad("shape before any 'layer' directive")
-			}
-			r, err := parseRect(fields[1:])
-			if err != nil {
-				return nil, bad(err.Error())
-			}
-			if fields[0] == "wire" {
-				lay.Layers[cur].Wires = append(lay.Layers[cur].Wires, r)
-			} else {
-				lay.Layers[cur].FillRegions = append(lay.Layers[cur].FillRegions, r)
-			}
-		default:
-			return nil, bad("unknown directive")
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
+	for {
+		s, err := sr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		ensure(s.Layer + 1)
+		if s.Datatype == layio.DatatypeRegion {
+			lay.Layers[s.Layer].FillRegions = append(lay.Layers[s.Layer].FillRegions, s.Rect)
+		} else {
+			lay.Layers[s.Layer].Wires = append(lay.Layers[s.Layer].Wires, s.Rect)
+		}
 	}
+	hdr := sr.Header()
+	lay.Name = hdr.Name
+	lay.Die = hdr.Die
+	lay.Window = hdr.Window
+	lay.Rules = hdr.Rules
+	ensure(hdr.NumLayers)
 	if err := lay.Validate(); err != nil {
 		return nil, fmt.Errorf("textfmt: %v", err)
 	}
@@ -146,43 +99,22 @@ func WriteSolution(w io.Writer, name string, sol *layout.Solution) error {
 	return bw.Flush()
 }
 
-// ReadSolution parses a text solution.
+// ReadSolution parses a text solution. It is a materializing convenience
+// over the streaming parser, restricted to the solution grammar.
 func ReadSolution(r io.Reader) (name string, sol *layout.Solution, err error) {
+	sr := newShapeReader(r, Limits{}, modeSolution)
 	sol = &layout.Solution{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<16), 1<<22)
-	lineNo := 0
-	for sc.Scan() {
-		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
+	for {
+		s, err := sr.Next()
+		if err == io.EOF {
+			break
 		}
-		fields := strings.Fields(line)
-		switch fields[0] {
-		case "solution":
-			if len(fields) != 2 {
-				return "", nil, fmt.Errorf("textfmt: line %d: solution needs a name", lineNo)
-			}
-			name = fields[1]
-		case "fill":
-			if len(fields) != 6 {
-				return "", nil, fmt.Errorf("textfmt: line %d: fill needs 5 values", lineNo)
-			}
-			li, err := strconv.Atoi(fields[1])
-			if err != nil || li < 0 {
-				return "", nil, fmt.Errorf("textfmt: line %d: bad layer %q", lineNo, fields[1])
-			}
-			r, err := parseRect(fields[2:])
-			if err != nil {
-				return "", nil, fmt.Errorf("textfmt: line %d: %v", lineNo, err)
-			}
-			sol.Fills = append(sol.Fills, layout.Fill{Layer: li, Rect: r})
-		default:
-			return "", nil, fmt.Errorf("textfmt: line %d: unknown directive %q", lineNo, fields[0])
+		if err != nil {
+			return "", nil, err
 		}
+		sol.Fills = append(sol.Fills, layout.Fill{Layer: s.Layer, Rect: s.Rect})
 	}
-	return name, sol, sc.Err()
+	return sr.Header().Name, sol, nil
 }
 
 func parseRect(fields []string) (geom.Rect, error) {
