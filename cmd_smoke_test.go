@@ -1,6 +1,7 @@
 package dummyfill_test
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -99,6 +100,48 @@ func TestReproFig6Command(t *testing.T) {
 	out := run(t, repro, "-exp", "fig6")
 	if !strings.Contains(out, "[5 0 0 6]") {
 		t.Fatalf("fig6 output wrong: %s", out)
+	}
+}
+
+// TestFilllintCommand drives the analysis gate the way CI does: the
+// repo's own tree must be clean under every analyzer, -list must name
+// them all, and -json must emit a parseable (empty) findings array.
+func TestFilllintCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and type-checks the module; skipped in -short mode")
+	}
+	lint := buildTool(t, "filllint")
+	root := repoRoot(t)
+
+	runAt := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command(lint, args...)
+		cmd.Dir = root
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("filllint %v: %v\n%s", args, err, out)
+		}
+		return string(out)
+	}
+
+	out := runAt("-list")
+	for _, name := range []string{"nodeterm", "ctxflow", "poolpair", "geomcast", "nopanic"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("filllint -list missing %s:\n%s", name, out)
+		}
+	}
+
+	if out = runAt("./..."); strings.TrimSpace(out) != "" {
+		t.Fatalf("filllint found violations in the tree:\n%s", out)
+	}
+
+	out = runAt("-json", "-analyzers", "nodeterm,nopanic", "./internal/mcf", "./internal/lps/...")
+	var findings []map[string]any
+	if err := json.Unmarshal([]byte(out), &findings); err != nil {
+		t.Fatalf("filllint -json output not JSON: %v\n%s", err, out)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("unexpected findings: %v", findings)
 	}
 }
 

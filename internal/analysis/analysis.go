@@ -1,0 +1,165 @@
+// Package analysis is the repo's self-contained static-analysis framework:
+// a stdlib-only miniature of golang.org/x/tools/go/analysis that loads the
+// module's packages with go/parser + go/types and runs invariant analyzers
+// over them. The analyzers encode the contracts the engine's correctness
+// rests on — determinism of emitted geometry, end-to-end context flow,
+// sync.Pool discipline, checked narrowing on the wire formats, and the
+// no-panic error taxonomy of the solver stack — so that "it compiles" and
+// "filllint passes" together mean the invariants still hold.
+//
+// Suppression: a finding can be waived, with a recorded reason, by a
+// pragma comment on the flagged line or the line directly above it:
+//
+//	//filllint:allow <analyzer> -- <reason>
+//
+// The reason is mandatory; a pragma without one is itself reported. The
+// pragma waives exactly one analyzer on exactly one line, keeping every
+// waived invariant grep-able and reviewed.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. Run inspects a single type-checked
+// package and reports findings through the Pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Packages reports whether the analyzer applies to a package import
+	// path. Analyzers see only packages they opt into; a nil func means
+	// every package.
+	Packages func(path string) bool
+	Run      func(*Pass)
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags   *[]Diagnostic
+	allowed map[allowKey]bool
+}
+
+// Diagnostic is one finding, positioned for file:line:col rendering.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless an allow pragma waives it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.allowed[allowKey{p.Analyzer.Name, position.Filename, position.Line}] {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowKey identifies one waived (analyzer, file, line) triple.
+type allowKey struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+const allowPrefix = "//filllint:allow "
+
+// collectAllows scans a package's comments for allow pragmas. A pragma on
+// line N waives findings on lines N and N+1 (its own line, or the line it
+// is stacked above). Malformed pragmas — unknown analyzer or missing
+// "-- reason" — are reported as findings themselves so a typo cannot
+// silently disable enforcement.
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool, diags *[]Diagnostic) map[allowKey]bool {
+	allowed := make(map[allowKey]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, allowPrefix)
+				name, reason, ok := strings.Cut(rest, "--")
+				name = strings.TrimSpace(name)
+				bad := func(format string, args ...any) {
+					*diags = append(*diags, Diagnostic{Pos: pos, Analyzer: "pragma", Message: fmt.Sprintf(format, args...)})
+				}
+				if !ok || strings.TrimSpace(reason) == "" {
+					bad("allow pragma needs a reason: //filllint:allow %s -- <why>", name)
+					continue
+				}
+				if !known[name] {
+					bad("allow pragma names unknown analyzer %q", name)
+					continue
+				}
+				allowed[allowKey{name, pos.Filename, pos.Line}] = true
+				allowed[allowKey{name, pos.Filename, pos.Line + 1}] = true
+			}
+		}
+	}
+	return allowed
+}
+
+// RunAnalyzers applies every analyzer (that opts into the package) to one
+// loaded package and returns the findings sorted by position.
+func RunAnalyzers(analyzers []*Analyzer, pkg *Package) []Diagnostic {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	allowed := collectAllows(pkg.Fset, pkg.Files, known, &diags)
+	for _, a := range analyzers {
+		if a.Packages != nil && !a.Packages(pkg.Types.Path()) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			diags:    &diags,
+			allowed:  allowed,
+		}
+		a.Run(pass)
+	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,12 @@
+package analysis
+
+// All returns every registered analyzer in stable (alphabetical) order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CtxFlow,
+		GeomCast,
+		NoDeterm,
+		NoPanic,
+		PoolPair,
+	}
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import "testing"
+
+// Each analyzer is exercised against a seeded true-positive fixture and a
+// clean fixture, type-checked under a package path the analyzer scopes
+// on. The // want comments in the fixtures are the expectations.
+
+func TestNoDetermFixtures(t *testing.T) {
+	runFixture(t, NoDeterm, fixturePath("nodeterm", "bad.go"), "dummyfill/internal/fill")
+	runFixture(t, NoDeterm, fixturePath("nodeterm", "clean.go"), "dummyfill/internal/fill")
+}
+
+// TestNoDetermScope checks that the same hazards outside the
+// deterministic package set are not findings: the synthetic-design
+// generator legitimately uses seeded randomness.
+func TestNoDetermScope(t *testing.T) {
+	diags := fixtureDiags(t, NoDeterm, fixturePath("nodeterm", "bad.go"), "dummyfill/internal/synth")
+	if len(diags) != 0 {
+		t.Fatalf("nodeterm fired outside its package scope: %v", diags)
+	}
+}
+
+func TestCtxFlowFixtures(t *testing.T) {
+	runFixture(t, CtxFlow, fixturePath("ctxflow", "bad.go"), "dummyfill/internal/fill")
+	runFixture(t, CtxFlow, fixturePath("ctxflow", "clean.go"), "dummyfill/internal/fill")
+}
+
+func TestPoolPairFixtures(t *testing.T) {
+	// poolpair is unscoped: pool discipline holds module-wide.
+	runFixture(t, PoolPair, fixturePath("poolpair", "bad.go"), "dummyfill/internal/geom")
+	runFixture(t, PoolPair, fixturePath("poolpair", "clean.go"), "dummyfill/internal/geom")
+}
+
+func TestGeomCastFixtures(t *testing.T) {
+	runFixture(t, GeomCast, fixturePath("geomcast", "bad.go"), "dummyfill/internal/gdsii")
+	runFixture(t, GeomCast, fixturePath("geomcast", "clean.go"), "dummyfill/internal/gdsii")
+}
+
+func TestNoPanicFixtures(t *testing.T) {
+	runFixture(t, NoPanic, fixturePath("nopanic", "bad.go"), "dummyfill/internal/mcf")
+	runFixture(t, NoPanic, fixturePath("nopanic", "clean.go"), "dummyfill/internal/mcf")
+}
+
+func TestMalformedPragmasAreFindings(t *testing.T) {
+	runFixture(t, NoPanic, fixturePath("pragma", "bad.go"), "dummyfill/internal/mcf")
+}
+
+// TestAllUniqueNames guards the registry against duplicate or empty
+// analyzer names (the driver's -analyzers flag keys on them).
+func TestAllUniqueNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("analyzer %+v incompletely registered", a)
+		}
+		if seen[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// ctxPackages are the engine and IO packages where cancellation must flow
+// from the public API down to every blocking callee (PR 2's hard-abort
+// contract): a fresh root context below the surface silently detaches a
+// subtree from cancellation and deadline propagation.
+var ctxPackages = pkgScope(
+	"internal/fill",
+	"internal/mcf",
+	"internal/dlp",
+	"internal/density",
+	"internal/ingest",
+	"internal/layio",
+	"internal/gdsii",
+	"internal/oasis",
+	"internal/textfmt",
+	"internal/exp",
+)
+
+// CtxFlow enforces the context-threading contract in engine/IO packages:
+//
+//   - a function that already has a context.Context parameter must not
+//     mint a fresh root via context.Background/TODO — not directly, and
+//     not as an argument to a callee that takes a context;
+//   - below the public API (unexported functions and all function
+//     literals), context.Background/TODO is forbidden outright: only
+//     exported entry points may adapt a context-free call into the
+//     context-threaded core.
+var CtxFlow = &Analyzer{
+	Name:     "ctxflow",
+	Doc:      "context must thread from the public API to every callee that accepts one",
+	Packages: ctxPackages,
+	Run:      runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	for _, f := range p.Files {
+		for _, fb := range funcBodies(f) {
+			hasCtx := hasCtxParam(p.Info, fb.typ)
+			exported := fb.decl != nil && fb.decl.Name.IsExported()
+			walkBody(fb.body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !isPkgFunc(p.Info, call, "context", "Background", "TODO") {
+					return true
+				}
+				name := calleeFunc(p.Info, call).Name()
+				switch {
+				case hasCtx:
+					p.Reportf(call.Pos(), "context.%s inside a function that already has a context parameter; pass the caller's ctx", name)
+				case !exported:
+					p.Reportf(call.Pos(), "context.%s below the public API; thread a context.Context parameter down instead", name)
+				}
+				return true
+			})
+		}
+	}
+}

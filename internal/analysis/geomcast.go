@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+// castPackages are the geometry substrate and every wire writer: the
+// places where int64 database units meet fixed-width wire fields (GDSII
+// 4-byte coordinates, 2-byte layer numbers) or compressed int32 indexes.
+var castPackages = pkgScope(
+	"internal/geom",
+	"internal/layout",
+	"internal/layio",
+	"internal/ingest",
+	"internal/gdsii",
+	"internal/oasis",
+	"internal/textfmt",
+)
+
+// GeomCast forbids bare narrowing conversions of integer coordinates and
+// indexes (int/int64 → int32, and int/int64/int32 → int16) in the
+// geometry and wire-format packages. A bare cast silently truncates a
+// coordinate that overflows the wire field — corrupting output instead of
+// failing — so every narrowing must go through the checked helpers
+// (geom.I32, geom.I16, geom.Idx32), which are themselves pragma-waived at
+// their single internal cast.
+var GeomCast = &Analyzer{
+	Name:     "geomcast",
+	Doc:      "integer narrowing in geometry/wire packages must use checked helpers",
+	Packages: castPackages,
+	Run:      runGeomCast,
+}
+
+func runGeomCast(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			tv, ok := p.Info.Types[call.Fun]
+			if !ok || !tv.IsType() {
+				return true
+			}
+			dst, ok := tv.Type.Underlying().(*types.Basic)
+			if !ok {
+				return true
+			}
+			if dst.Kind() != types.Int32 && dst.Kind() != types.Int16 {
+				return true
+			}
+			argTV, ok := p.Info.Types[call.Args[0]]
+			if !ok {
+				return true
+			}
+			src, ok := argTV.Type.Underlying().(*types.Basic)
+			if !ok {
+				return true
+			}
+			if !narrowingIntKind(src.Kind(), dst.Kind()) {
+				return true
+			}
+			// Constants that provably fit are fine: the compiler has
+			// already range-checked typed constant conversions.
+			if argTV.Value != nil && representableInt(argTV.Value, dst.Kind()) {
+				return true
+			}
+			p.Reportf(call.Pos(), "bare narrowing conversion %s → %s may truncate; use the checked geom helpers (I32/I16/Idx32)", src.Name(), dst.Name())
+			return true
+		})
+	}
+}
+
+// narrowingIntKind reports whether converting src to dst can lose integer
+// range: int/int64 → int32, or int/int64/int32 → int16.
+func narrowingIntKind(src, dst types.BasicKind) bool {
+	switch dst {
+	case types.Int32:
+		return src == types.Int || src == types.Int64
+	case types.Int16:
+		return src == types.Int || src == types.Int64 || src == types.Int32
+	}
+	return false
+}
+
+// representableInt reports whether constant v fits kind.
+func representableInt(v constant.Value, kind types.BasicKind) bool {
+	i, ok := constant.Int64Val(constant.ToInt(v))
+	if !ok {
+		return false
+	}
+	switch kind {
+	case types.Int32:
+		return i >= -1<<31 && i < 1<<31
+	case types.Int16:
+		return i >= -1<<15 && i < 1<<15
+	}
+	return false
+}

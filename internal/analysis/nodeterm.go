@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// detPackages are the packages whose emitted bytes are covered by the
+// golden-hash determinism tests: the engine, both solver stacks, the
+// geometry/density substrate and every wire format. Inside them, wall
+// clocks, randomness and map iteration order must not influence output.
+var detPackages = pkgScope(
+	"internal/fill",
+	"internal/mcf",
+	"internal/dlp",
+	"internal/lps",
+	"internal/geom",
+	"internal/layout",
+	"internal/density",
+	"internal/grid",
+	"internal/ingest",
+	"internal/layio",
+	"internal/gdsii",
+	"internal/oasis",
+	"internal/textfmt",
+)
+
+// NoDeterm reports determinism-contract violations: imports of math/rand,
+// wall-clock reads (time.Now/Since/Until), and range statements over maps
+// (iteration order is randomized per run). Order-insensitive map ranges
+// can be waived with an allow pragma, but the default is to restructure:
+// sorted key slices and dense index loops are as fast and provably
+// stable.
+var NoDeterm = &Analyzer{
+	Name:     "nodeterm",
+	Doc:      "forbid wall clocks, math/rand and map iteration in deterministic packages",
+	Packages: detPackages,
+	Run:      runNoDeterm,
+}
+
+func runNoDeterm(p *Pass) {
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path := strings.Trim(imp.Path.Value, `"`)
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(), "deterministic package imports %s; outputs must not depend on randomness", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if isPkgFunc(p.Info, n, "time", "Now", "Since", "Until") {
+					p.Reportf(n.Pos(), "wall-clock read %s in a deterministic package; output must not depend on elapsed time", calleeFunc(p.Info, n).FullName())
+				}
+			case *ast.RangeStmt:
+				if tv, ok := p.Info.Types[n.X]; ok {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						p.Reportf(n.Pos(), "range over a map has nondeterministic order; iterate sorted keys or a dense index instead")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

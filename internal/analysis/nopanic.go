@@ -1,0 +1,46 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// solverPackages are the three solver stacks. PR 2 replaced their panics
+// with the SolverError taxonomy so the engine's fallback chain can treat
+// any tier failure as a degradable event; a reintroduced panic would blow
+// through the chain (the recover boundary in internal/fill catches it,
+// but as a whole-tier crash, not a typed error).
+var solverPackages = pkgScope(
+	"internal/mcf",
+	"internal/dlp",
+	"internal/lps",
+)
+
+// NoPanic forbids explicit panic calls in solver packages. Errors must
+// flow through the error taxonomy; a deliberate recovery-isolated
+// boundary can be waived with an allow pragma stating why.
+var NoPanic = &Analyzer{
+	Name:     "nopanic",
+	Doc:      "solver packages return typed errors, never panic",
+	Packages: solverPackages,
+	Run:      runNoPanic,
+}
+
+func runNoPanic(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if b, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin && b.Name() == "panic" {
+				p.Reportf(call.Pos(), "panic in a solver package; return a typed solver error so the fallback chain can degrade the window")
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolPair enforces sync.Pool discipline everywhere: every Get must have
+// a matching Put on the same pool in the same function (directly or via
+// defer), no return between the Get and the first Put may leak the
+// scratch, and when the pooled type declares a Reset/reset method the
+// function must invoke it — pooled scratch comes back dirty.
+//
+// The leak check is a textual-order heuristic, not a full CFG analysis:
+// a return statement positioned after a Get is flagged unless some Put on
+// the same pool precedes it (or a deferred Put covers the whole
+// function). That shape catches the realistic failure — an early error
+// return inserted between Get and Put — without false alarms on the
+// Get…Put…return pattern the codebase uses.
+var PoolPair = &Analyzer{
+	Name: "poolpair",
+	Doc:  "sync.Pool Get/Put must pair on every return path, with dirty scratch reset",
+	Run:  runPoolPair,
+}
+
+func runPoolPair(p *Pass) {
+	for _, f := range p.Files {
+		for _, fb := range funcBodies(f) {
+			checkPoolBody(p, fb.body)
+		}
+	}
+}
+
+// poolMethodCall matches call as a (*sync.Pool).Get or Put method call,
+// returning the method name and a textual key identifying the pool.
+func poolMethodCall(info *types.Info, call *ast.CallExpr) (method, poolKey string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	if fn.Name() != "Get" && fn.Name() != "Put" {
+		return "", "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", "", false
+	}
+	ptr, isPtr := recv.Type().(*types.Pointer)
+	if !isPtr {
+		return "", "", false
+	}
+	named, isNamed := ptr.Elem().(*types.Named)
+	if !isNamed || named.Obj().Name() != "Pool" {
+		return "", "", false
+	}
+	return fn.Name(), types.ExprString(sel.X), true
+}
+
+func checkPoolBody(p *Pass, body *ast.BlockStmt) {
+	type getInfo struct {
+		pos  token.Pos
+		call *ast.CallExpr
+	}
+	gets := map[string][]getInfo{}   // pool key → Get calls
+	puts := map[string][]token.Pos{} // pool key → non-deferred Put positions
+	deferred := map[string]bool{}    // pool key → has a deferred Put
+	asserted := map[*ast.CallExpr]types.Type{}
+	var returns []token.Pos
+	calledMethods := map[*types.Func]bool{}
+
+	walkBody(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if m, key, ok := poolMethodCall(p.Info, n.Call); ok && m == "Put" {
+				deferred[key] = true
+			}
+		case *ast.ReturnStmt:
+			returns = append(returns, n.Pos())
+		case *ast.TypeAssertExpr:
+			if call, isCall := ast.Unparen(n.X).(*ast.CallExpr); isCall {
+				if m, _, ok := poolMethodCall(p.Info, call); ok && m == "Get" {
+					if tv, ok := p.Info.Types[n.Type]; ok {
+						asserted[call] = tv.Type
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if m, key, ok := poolMethodCall(p.Info, n); ok {
+				switch m {
+				case "Get":
+					gets[key] = append(gets[key], getInfo{n.Pos(), n})
+				case "Put":
+					puts[key] = append(puts[key], n.Pos())
+				}
+			}
+			if sel, isSel := ast.Unparen(n.Fun).(*ast.SelectorExpr); isSel {
+				if fn, isFn := p.Info.Uses[sel.Sel].(*types.Func); isFn {
+					calledMethods[fn] = true
+				}
+			}
+		}
+		return true
+	})
+
+	for key, gs := range gets {
+		if len(puts[key]) == 0 && !deferred[key] {
+			p.Reportf(gs[0].pos, "%s.Get without a matching %s.Put in this function; pooled scratch leaks", key, key)
+			continue
+		}
+		if !deferred[key] {
+			firstGet := gs[0].pos
+			for _, g := range gs[1:] {
+				if g.pos < firstGet {
+					firstGet = g.pos
+				}
+			}
+			for _, ret := range returns {
+				if ret <= firstGet {
+					continue
+				}
+				covered := false
+				for _, put := range puts[key] {
+					if put > firstGet && put < ret {
+						covered = true
+						break
+					}
+				}
+				if !covered {
+					p.Reportf(ret, "return between %s.Get and its Put leaks pooled scratch; Put before returning or defer the Put", key)
+				}
+			}
+		}
+		// Reset discipline: pooled values come back dirty, so a pooled type
+		// that declares how to clean itself must be cleaned on every Get.
+		for _, g := range gs {
+			t, ok := asserted[g.call]
+			if !ok {
+				continue
+			}
+			if reset := resetMethod(t); reset != nil && !calledMethods[reset] {
+				p.Reportf(g.pos, "pooled %s has a %s method that this function never calls; reset scratch before reuse", t.String(), reset.Name())
+			}
+		}
+	}
+}
+
+// resetMethod returns t's Reset/reset method, if it declares one.
+func resetMethod(t types.Type) *types.Func {
+	for _, name := range [...]string{"Reset", "reset"} {
+		ms := types.NewMethodSet(t)
+		for i := 0; i < ms.Len(); i++ {
+			if fn, ok := ms.At(i).Obj().(*types.Func); ok && fn.Name() == name {
+				return fn
+			}
+		}
+	}
+	return nil
+}

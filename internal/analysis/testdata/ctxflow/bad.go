@@ -1,0 +1,35 @@
+// Seeded ctxflow violations: fresh root contexts minted below the public
+// API and inside context-bearing functions.
+package fill
+
+import "context"
+
+func lower(ctx context.Context) error { return ctx.Err() }
+
+// Public is an exported entrance adapter — the one place a root context
+// is legitimate.
+func Public() error {
+	return lower(context.Background())
+}
+
+func helper() error {
+	return lower(context.Background()) // want "below the public API"
+}
+
+func todoHelper() error {
+	return lower(context.TODO()) // want "below the public API"
+}
+
+// Threaded already has a context; minting a fresh root detaches the
+// callee from cancellation.
+func Threaded(ctx context.Context) error {
+	return lower(context.Background()) // want "already has a context parameter"
+}
+
+// Closure bodies are below the public API regardless of the enclosing
+// function's visibility.
+func Adapter() func() error {
+	return func() error {
+		return lower(context.Background()) // want "below the public API"
+	}
+}

@@ -1,0 +1,21 @@
+// Clean ctxflow fixture: contexts thread from the exported surface down.
+package fill
+
+import "context"
+
+func lower2(ctx context.Context) error { return ctx.Err() }
+
+// Run is the exported adapter; everything below passes ctx along.
+func Run() error { return RunContext(context.Background()) }
+
+// RunContext threads its context to every callee that takes one.
+func RunContext(ctx context.Context) error {
+	if err := middle(ctx); err != nil {
+		return err
+	}
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return lower2(sub)
+}
+
+func middle(ctx context.Context) error { return lower2(ctx) }

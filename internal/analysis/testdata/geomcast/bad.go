@@ -1,0 +1,19 @@
+// Seeded geomcast violations: bare narrowing conversions of coordinates
+// and indexes. Checked under a wire-writer package path.
+package gdsii
+
+func emitCoord(x int64) int32 {
+	return int32(x) // want "int64 → int32"
+}
+
+func emitLayer(l int) int16 {
+	return int16(l) // want "int → int16"
+}
+
+func compressIndex(n int) int32 {
+	return int32(n) // want "int → int32"
+}
+
+func narrowTwice(v int32) int16 {
+	return int16(v) // want "int32 → int16"
+}

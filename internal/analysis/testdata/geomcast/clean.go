@@ -1,0 +1,22 @@
+// Clean geomcast fixture: constants that provably fit, widening
+// conversions, and the pragma-waived checked-helper pattern.
+package gdsii
+
+const headerVersion int64 = 600
+
+// constantsFit: typed constants within range are compile-checked already.
+func constantsFit() (int32, int16) {
+	return int32(headerVersion), int16(headerVersion)
+}
+
+// widen: widening never truncates.
+func widen(v int32) int64 { return int64(v) }
+
+// checkedI32 is the checked-helper shape: the one bare cast lives behind
+// a range check and carries the waiver.
+func checkedI32(v int64) (int32, bool) {
+	if v < -1<<31 || v >= 1<<31 {
+		return 0, false
+	}
+	return int32(v), true //filllint:allow geomcast -- range-checked on the line above
+}

@@ -1,0 +1,27 @@
+// Seeded nodeterm violations: every determinism hazard the analyzer must
+// catch. Checked under a deterministic package path by the fixture test.
+package fill
+
+import (
+	"math/rand" // want "imports math/rand"
+	"time"
+)
+
+func clock() int64 {
+	return time.Now().UnixNano() // want "wall-clock read time.Now"
+}
+
+func elapsed(start time.Time) bool {
+	return time.Since(start) > time.Second // want "wall-clock read time.Since"
+}
+
+func ranged(m map[int]int) (s int) {
+	for _, v := range m { // want "range over a map"
+		s += v
+	}
+	return s
+}
+
+func seeded() int {
+	return rand.Int()
+}

@@ -1,0 +1,31 @@
+// Clean nodeterm fixture: the deterministic alternatives to everything
+// bad.go does, plus a pragma-waived wall-clock read.
+package fill
+
+import (
+	"sort"
+	"time"
+)
+
+// sortedSum iterates a map through its sorted key slice — stable order.
+func sortedSum(m map[int]int) (s int) {
+	keys := make([]int, 0, len(m))
+	for k := 0; k < 1<<10; k++ {
+		if _, ok := m[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		s += m[k]
+	}
+	return s
+}
+
+// softBudget is the sanctioned wall-clock pattern: intentionally
+// nondeterministic degradation, waived with a recorded reason.
+func softBudget(budget time.Duration) bool {
+	start := time.Now() //filllint:allow nodeterm -- soft time budget is documented wall-clock behavior
+	_ = start
+	return budget > 0
+}

@@ -1,0 +1,17 @@
+// Seeded nopanic violations: explicit panics in a solver package.
+package mcf
+
+import "errors"
+
+var errNegative = errors.New("negative supply")
+
+func solve(n int) error {
+	if n < 0 {
+		panic("negative supply") // want "panic in a solver package"
+	}
+	check := func() {
+		panic(errNegative) // want "panic in a solver package"
+	}
+	check()
+	return nil
+}

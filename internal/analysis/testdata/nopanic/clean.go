@@ -1,0 +1,24 @@
+// Clean nopanic fixture: errors flow through the taxonomy; one
+// deliberate recovery boundary is pragma-waived with its reason.
+package mcf
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errInfeasible = errors.New("infeasible")
+
+func solveClean(n int) error {
+	if n < 0 {
+		return fmt.Errorf("solve: %w: supply %d", errInfeasible, n)
+	}
+	return nil
+}
+
+func isolatedBoundary(n int) error {
+	if n < -1<<30 {
+		panic("corrupted arena: cannot continue") //filllint:allow nopanic -- recovery-isolated boundary, caught by the engine's attemptSize recover
+	}
+	return nil
+}

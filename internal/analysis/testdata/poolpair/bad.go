@@ -1,0 +1,38 @@
+// Seeded poolpair violations: a leaked Get, an early return between Get
+// and Put, and dirty reuse of resettable scratch.
+package fill
+
+import (
+	"errors"
+	"sync"
+)
+
+type scratch struct{ buf []int }
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+type rscratch struct{ n int }
+
+func (r *rscratch) Reset() { r.n = 0 }
+
+var rpool = sync.Pool{New: func() any { return new(rscratch) }}
+
+func leak() int {
+	sc := pool.Get().(*scratch) // want "without a matching"
+	return len(sc.buf)
+}
+
+func earlyReturn(fail bool) error {
+	sc := pool.Get().(*scratch)
+	if fail {
+		return errors.New("scratch leaked on this path") // want "return between"
+	}
+	pool.Put(sc)
+	return nil
+}
+
+func dirtyReuse() int {
+	sc := rpool.Get().(*rscratch) // want "never calls"
+	defer rpool.Put(sc)
+	return sc.n
+}

@@ -1,0 +1,36 @@
+// Clean poolpair fixture: paired Get/Put on every path, deferred Put,
+// and resettable scratch reset before use.
+package fill
+
+import (
+	"errors"
+	"sync"
+)
+
+type scratch2 struct{ buf []int }
+
+var pool2 = sync.Pool{New: func() any { return new(scratch2) }}
+
+type rscratch2 struct{ n int }
+
+func (r *rscratch2) Reset() { r.n = 0 }
+
+var rpool2 = sync.Pool{New: func() any { return new(rscratch2) }}
+
+func pairedEveryPath(fail bool) error {
+	sc := pool2.Get().(*scratch2)
+	if fail {
+		pool2.Put(sc)
+		return errors.New("failed, scratch returned")
+	}
+	sc.buf = sc.buf[:0]
+	pool2.Put(sc)
+	return nil
+}
+
+func deferredPut() int {
+	sc := rpool2.Get().(*rscratch2)
+	defer rpool2.Put(sc)
+	sc.Reset()
+	return sc.n
+}

@@ -1,0 +1,9 @@
+// Seeded pragma violations: malformed waivers must be findings, not
+// silent no-ops.
+package mcf
+
+func ok() int {
+	//filllint:allow nopanic // want "needs a reason"
+	//filllint:allow nosuchanalyzer -- some reason // want "unknown analyzer"
+	return 0
+}

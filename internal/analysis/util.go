@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// pkgScope builds a Packages predicate matching import paths that end in
+// one of the given module-relative package dirs (e.g. "internal/fill").
+// Suffix matching keeps the predicate independent of the module name, so
+// fixture packages checked under synthetic paths scope identically.
+func pkgScope(dirs ...string) func(string) bool {
+	return func(path string) bool {
+		for _, d := range dirs {
+			if path == d || strings.HasSuffix(path, "/"+d) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// calleeFunc resolves the called function or method of call, or nil for
+// builtins, type conversions and indirect calls through non-selector
+// expressions it cannot name.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (resolved through the type info, so import renames and
+// shadowing are handled).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath string, names ...string) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Pkg().Path() != pkgPath {
+		return false
+	}
+	for _, n := range names {
+		if f.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// funcBodies yields every function body in the file exactly once, each
+// paired with its owning declaration context: the FuncDecl for methods and
+// functions (nil for function literals). Nested literals are yielded
+// separately and excluded from the enclosing body's walk via the visit
+// callback's return value.
+type funcBody struct {
+	decl *ast.FuncDecl // nil for function literals
+	typ  *ast.FuncType
+	body *ast.BlockStmt
+}
+
+func funcBodies(f *ast.File) []funcBody {
+	var out []funcBody
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				out = append(out, funcBody{decl: fn, typ: fn.Type, body: fn.Body})
+			}
+		case *ast.FuncLit:
+			out = append(out, funcBody{typ: fn.Type, body: fn.Body})
+		}
+		return true
+	})
+	return out
+}
+
+// walkBody walks stmts of one function body without descending into
+// nested function literals (they are separate funcBodies).
+func walkBody(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if n == nil {
+			return true
+		}
+		return fn(n)
+	})
+}
+
+// hasCtxParam reports whether ft declares a parameter of type
+// context.Context (by type, through the checker, not by name).
+func hasCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
