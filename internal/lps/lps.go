@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Sense of a linear constraint row.
@@ -42,8 +43,19 @@ type Problem struct {
 	rows   []row
 }
 
+// coefTerm is one nonzero of a constraint row, stored as a slice sorted
+// by variable index: the solver accumulates float sums over these terms,
+// and a fixed order makes every rounding decision — and therefore every
+// pivot sequence and every solution — reproducible across runs. (A map
+// here once made the dense-simplex fallback tier the only nondeterministic
+// solver in the chain.)
+type coefTerm struct {
+	j int
+	v float64
+}
+
 type row struct {
-	coef  map[int]float64
+	coef  []coefTerm
 	sense Sense
 	b     float64
 }
@@ -70,12 +82,14 @@ func (p *Problem) AddVar(cost, lo, hi float64) int {
 }
 
 // AddConstraint appends a row Σ coef[i]·x_i (sense) b. The coefficient map
-// is copied.
+// is copied into a dense term list sorted by variable index, fixing the
+// float accumulation order for the solver.
 func (p *Problem) AddConstraint(coef map[int]float64, sense Sense, b float64) {
-	cp := make(map[int]float64, len(coef))
-	for k, v := range coef {
-		cp[k] = v
+	cp := make([]coefTerm, 0, len(coef))
+	for k, v := range coef { //filllint:allow nodeterm -- terms are sorted by index below
+		cp = append(cp, coefTerm{k, v})
 	}
+	sort.Slice(cp, func(a, b int) bool { return cp[a].j < cp[b].j })
 	p.rows = append(p.rows, row{cp, sense, b})
 }
 
@@ -175,8 +189,8 @@ func newTableau(p *Problem) *tableau {
 	copy(t.hi, p.hi)
 	for i := 0; i < m; i++ {
 		r := p.rows[i]
-		for j, v := range r.coef {
-			t.a[i*t.n+j] = v
+		for _, term := range r.coef {
+			t.a[i*t.n+term.j] = term.v
 		}
 		sl := ns + i
 		art := ns + m + i
@@ -208,8 +222,8 @@ func newTableau(p *Problem) *tableau {
 	for i := 0; i < m; i++ {
 		r := p.rows[i]
 		resid := r.b
-		for j, v := range r.coef {
-			resid -= v * t.xN[j]
+		for _, term := range r.coef {
+			resid -= term.v * t.xN[term.j]
 		}
 		sl := ns + i
 		art := ns + m + i
