@@ -3,6 +3,7 @@ package geom
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -88,10 +89,10 @@ func (p Polygon) ToRects() ([]Rect, error) {
 		x, yl, yh int64
 	}
 	var edges []vedge
-	ysSet := map[int64]struct{}{}
+	ys := make([]int64, 0, n)
 	for i := 0; i < n; i++ {
 		a, b := p.Pts[i], p.Pts[(i+1)%n]
-		ysSet[a.Y] = struct{}{}
+		ys = append(ys, a.Y)
 		if a.X == b.X {
 			yl, yh := a.Y, b.Y
 			if yl > yh {
@@ -100,11 +101,8 @@ func (p Polygon) ToRects() ([]Rect, error) {
 			edges = append(edges, vedge{a.X, yl, yh})
 		}
 	}
-	ys := make([]int64, 0, len(ysSet))
-	for y := range ysSet {
-		ys = append(ys, y)
-	}
-	sort.Slice(ys, func(i, j int) bool { return ys[i] < ys[j] })
+	slices.Sort(ys)
+	ys = dedup64(ys)
 
 	type openSlab struct {
 		xl, xh, yl int64

@@ -176,8 +176,10 @@ func (l *Layout) WireDensityMap(g *grid.Grid, li int) *grid.Map {
 		})
 	}
 	area := grid.NewMap(g)
-	for k, rects := range perWin {
-		area.V[k] = float64(geom.UnionArea(rects))
+	for k := range area.V {
+		if rects := perWin[k]; len(rects) > 0 {
+			area.V[k] = float64(geom.UnionArea(rects))
+		}
 	}
 	return grid.DensityMap(area)
 }
