@@ -85,7 +85,7 @@ func (t *AreaTable) addBand(y0, y1 int64, ivs []covIval) {
 	if len(t.pre) == 0 {
 		t.pre = append(t.pre, 0)
 	}
-	lo := int32(len(t.ixl))
+	lo := Idx32(len(t.ixl))
 	run := t.pre[len(t.pre)-1]
 	for _, iv := range ivs {
 		t.ixl = append(t.ixl, iv.xl)
@@ -93,7 +93,7 @@ func (t *AreaTable) addBand(y0, y1 int64, ivs []covIval) {
 		run += iv.xh - iv.xl
 		t.pre = append(t.pre, run)
 	}
-	hi := int32(len(t.ixl))
+	hi := Idx32(len(t.ixl))
 	t.bands = append(t.bands, atBand{y0, y1, lo, hi})
 	t.total += (t.pre[hi] - t.pre[lo]) * (y1 - y0)
 }

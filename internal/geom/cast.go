@@ -1,0 +1,40 @@
+// Checked integer narrowing. All engine coordinates are int64 database
+// units, but the wire formats carry fixed-width fields (GDSII 4-byte
+// coordinates, 2-byte layer numbers) and the spatial indexes compress ids
+// to int32. A bare cast at those boundaries truncates silently — a
+// coordinate that overflows the wire field corrupts the output instead of
+// failing. These helpers are the only sanctioned narrowing path; the
+// filllint geomcast analyzer rejects bare int→int32/int16 conversions in
+// the geometry and wire-format packages, and the single cast inside each
+// helper carries the waiver.
+package geom
+
+// I32 converts a database-unit value to int32, reporting ok=false when v
+// is outside the int32 range (for example a coordinate that does not fit
+// a 4-byte GDSII record). Callers must turn !ok into an error.
+func I32(v int64) (i int32, ok bool) {
+	if v < -1<<31 || v >= 1<<31 {
+		return 0, false
+	}
+	return int32(v), true //filllint:allow geomcast -- range-checked on the line above
+}
+
+// I16 converts a small integer (layer or datatype number) to int16,
+// reporting ok=false on overflow.
+func I16(v int) (i int16, ok bool) {
+	if v < -1<<15 || v >= 1<<15 {
+		return 0, false
+	}
+	return int16(v), true //filllint:allow geomcast -- range-checked on the line above
+}
+
+// Idx32 compresses a non-negative slice index to int32 for the spatial
+// indexes and banded tables. Index counts are bounded by memory long
+// before they reach 2^31, so overflow here is a capacity bug, not a data
+// condition: Idx32 panics rather than making every Insert fallible.
+func Idx32(v int) int32 {
+	if v < 0 || v >= 1<<31 {
+		panic("geom: index overflows int32 compression")
+	}
+	return int32(v) //filllint:allow geomcast -- range-checked on the line above
+}

@@ -1,0 +1,56 @@
+package geom
+
+import "testing"
+
+func TestI32(t *testing.T) {
+	cases := []struct {
+		in   int64
+		want int32
+		ok   bool
+	}{
+		{0, 0, true},
+		{1<<31 - 1, 1<<31 - 1, true},
+		{-1 << 31, -1 << 31, true},
+		{1 << 31, 0, false},
+		{-1<<31 - 1, 0, false},
+		{1 << 40, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := I32(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("I32(%d) = (%d,%v), want (%d,%v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestI16(t *testing.T) {
+	cases := []struct {
+		in   int
+		want int16
+		ok   bool
+	}{
+		{0, 0, true},
+		{1<<15 - 1, 1<<15 - 1, true},
+		{-1 << 15, -1 << 15, true},
+		{1 << 15, 0, false},
+		{-1<<15 - 1, 0, false},
+	}
+	for _, c := range cases {
+		got, ok := I16(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("I16(%d) = (%d,%v), want (%d,%v)", c.in, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestIdx32(t *testing.T) {
+	if got := Idx32(42); got != 42 {
+		t.Fatalf("Idx32(42) = %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Idx32(-1) did not panic")
+		}
+	}()
+	Idx32(-1)
+}

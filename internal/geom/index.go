@@ -67,7 +67,7 @@ func (ix *Index) Rect(i int) Rect { return ix.rects[i] }
 
 // Insert adds r to the index and returns its id.
 func (ix *Index) Insert(r Rect) int {
-	id := int32(len(ix.rects))
+	id := Idx32(len(ix.rects))
 	ix.rects = append(ix.rects, r)
 	ix.stamp = append(ix.stamp, 0)
 	x0, y0, x1, y1 := ix.cellRange(r)

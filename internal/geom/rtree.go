@@ -32,7 +32,7 @@ func NewRTree(rects []Rect) *RTree {
 	}
 	ids := make([]int32, len(rects))
 	for i := range ids {
-		ids[i] = int32(i)
+		ids[i] = Idx32(i)
 	}
 	// STR: sort by center x, slice into vertical strips, sort each strip
 	// by center y, pack runs of rtFanout into leaves.
@@ -92,7 +92,7 @@ func NewRTree(rects []Rect) *RTree {
 			var bb Rect
 			kids := make([]int32, oe-o)
 			for i, n := range level[o:oe] {
-				kids[i] = int32(n)
+				kids[i] = Idx32(n)
 				bb = bb.Union(t.nodes[n].bbox)
 			}
 			t.nodes = append(t.nodes, rtNode{bbox: bb, children: kids})
