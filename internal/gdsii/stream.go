@@ -72,6 +72,23 @@ func (sw *StreamWriter) BeginStructure(name string) error {
 	return writeString(sw.bw, RecStrName, name)
 }
 
+// layerRecords validates layer/datatype against the 2-byte GDSII fields
+// and writes their records.
+func (sw *StreamWriter) layerRecords(layer, datatype int) error {
+	l16, ok := geom.I16(layer)
+	if !ok {
+		return fmt.Errorf("gdsii: layer %d overflows the 2-byte LAYER field", layer)
+	}
+	d16, ok := geom.I16(datatype)
+	if !ok {
+		return fmt.Errorf("gdsii: datatype %d overflows the 2-byte DATATYPE field", datatype)
+	}
+	if err := writeInt16s(sw.bw, RecLayer, l16); err != nil {
+		return err
+	}
+	return writeInt16s(sw.bw, RecDatatype, d16)
+}
+
 // WriteBoundary emits one polygon element into the open structure.
 func (sw *StreamWriter) WriteBoundary(b Boundary) error {
 	if !sw.inStruct {
@@ -83,18 +100,20 @@ func (sw *StreamWriter) WriteBoundary(b Boundary) error {
 	if err := writeRecord(sw.bw, RecBoundary, DTNone, nil); err != nil {
 		return err
 	}
-	if err := writeInt16s(sw.bw, RecLayer, int16(b.Layer)); err != nil {
-		return err
-	}
-	if err := writeInt16s(sw.bw, RecDatatype, int16(b.Datatype)); err != nil {
+	if err := sw.layerRecords(b.Layer, b.Datatype); err != nil {
 		return err
 	}
 	xy := sw.xy[:0]
 	for _, p := range b.Pts {
-		xy = append(xy, int32(p.X), int32(p.Y))
+		x, okx := geom.I32(p.X)
+		y, oky := geom.I32(p.Y)
+		if !okx || !oky {
+			return fmt.Errorf("gdsii: point %v overflows the 4-byte XY field", p)
+		}
+		xy = append(xy, x, y)
 	}
 	// Close the ring.
-	xy = append(xy, int32(b.Pts[0].X), int32(b.Pts[0].Y))
+	xy = append(xy, xy[0], xy[1])
 	sw.xy = xy
 	if err := writeInt32s(sw.bw, RecXY, xy...); err != nil {
 		return err
@@ -111,16 +130,20 @@ func (sw *StreamWriter) WriteRect(layer, datatype int, r geom.Rect) error {
 	if err := writeRecord(sw.bw, RecBoundary, DTNone, nil); err != nil {
 		return err
 	}
-	if err := writeInt16s(sw.bw, RecLayer, int16(layer)); err != nil {
+	if err := sw.layerRecords(layer, datatype); err != nil {
 		return err
 	}
-	if err := writeInt16s(sw.bw, RecDatatype, int16(datatype)); err != nil {
-		return err
+	xl, okXL := geom.I32(r.XL)
+	yl, okYL := geom.I32(r.YL)
+	xh, okXH := geom.I32(r.XH)
+	yh, okYH := geom.I32(r.YH)
+	if !okXL || !okYL || !okXH || !okYH {
+		return fmt.Errorf("gdsii: rect %v overflows the 4-byte XY field", r)
 	}
 	xy := append(sw.xy[:0],
-		int32(r.XL), int32(r.YL), int32(r.XH), int32(r.YL),
-		int32(r.XH), int32(r.YH), int32(r.XL), int32(r.YH),
-		int32(r.XL), int32(r.YL))
+		xl, yl, xh, yl,
+		xh, yh, xl, yh,
+		xl, yl)
 	sw.xy = xy
 	if err := writeInt32s(sw.bw, RecXY, xy...); err != nil {
 		return err
