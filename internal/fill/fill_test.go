@@ -12,6 +12,12 @@ import (
 	"dummyfill/internal/score"
 )
 
+// sizeWindow is a test convenience over sizeWindowScratch with fresh
+// scratch and a background context.
+func sizeWindow(w *window, lay *layout.Layout, targets []int64, opts Options) ([]cell, error) {
+	return sizeWindowScratch(context.Background(), w, lay, targets, opts, newSizeScratch(opts))
+}
+
 func testRules() layout.Rules {
 	return layout.Rules{MinWidth: 4, MinSpace: 4, MinArea: 16, MaxFillDim: 40}
 }

@@ -62,6 +62,7 @@ func (e *Engine) sizeWindowResilient(ctx context.Context, k int, w *window, targ
 	// remaining window skips straight to degradation so the run finishes
 	// promptly. The injected variant is window-keyed (not sticky) to keep
 	// fault patterns deterministic across schedules.
+	//filllint:allow nodeterm -- Options.Budget degradation is intentionally wall-clock; documented in DESIGN.md §7
 	if e.opts.Budget > 0 && !hc.budgetExceeded.Load() && time.Since(start) > e.opts.Budget {
 		hc.budgetExceeded.Store(true)
 	}

@@ -113,23 +113,18 @@ func indexes(dst []*geom.Index, nl int, bounds geom.Rect) []*geom.Index {
 	return dst
 }
 
-// sizeWindow shrinks the selected candidates of one window so that each
-// layer's fill area converges to its target area while overlay with
+// sizeWindowScratch shrinks the selected candidates of one window so that
+// each layer's fill area converges to its target area while overlay with
 // neighbouring layers is minimized (§3.3). The non-convex problem (Eqn. 9)
 // is relaxed by alternating directions: with heights fixed, widths are the
 // solution of a difference-constraint LP (Eqns. 10–13) solved exactly via
 // dual min-cost flow (Eqn. 14–16); then the roles swap.
 //
 // targets[l] is the desired fill area (not density) for layer l within
-// this window. Returns the surviving sized fills; the slice aliases
-// scratch storage and is only valid until the next call with the same
-// scratch.
-func sizeWindow(w *window, lay *layout.Layout, targets []int64, opts Options) ([]cell, error) {
-	return sizeWindowScratch(context.Background(), w, lay, targets, opts, newSizeScratch(opts))
-}
-
-// sizeWindowScratch is sizeWindow against caller-owned scratch state,
-// solving with the scratch's own (possibly warm-started) solver.
+// this window. Returns the surviving sized fills; the slice aliases the
+// caller-owned scratch and is only valid until the next call with the
+// same scratch. Solving uses the scratch's own (possibly warm-started)
+// solver.
 func sizeWindowScratch(ctx context.Context, w *window, lay *layout.Layout, targets []int64, opts Options, sc *sizeScratch) ([]cell, error) {
 	return sizeWindowWith(ctx, w, lay, targets, opts, sc, sc.solver())
 }
