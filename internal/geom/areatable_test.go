@@ -128,6 +128,9 @@ func TestOverlapAreaDisjointMatchesUnion(t *testing.T) {
 // the hot query paths: zero allocations per OverlapArea call on both the
 // raster and disjoint-index kernels.
 func TestAreaTableQueryAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; counts are meaningless")
+	}
 	var at AreaTable
 	at.Build([]Rect{R(0, 0, 50, 50), R(40, 40, 100, 90), R(10, 60, 30, 80)})
 	q := R(5, 5, 70, 70)
@@ -145,6 +148,9 @@ func TestAreaTableQueryAllocs(t *testing.T) {
 // TestAreaTableBuildSteadyStateAllocs: after the first Build at a given
 // size, rebuilding over same-sized inputs must not allocate.
 func TestAreaTableBuildSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; counts are meaningless")
+	}
 	rects := []Rect{R(0, 0, 50, 50), R(40, 40, 100, 90), R(10, 60, 30, 80)}
 	var at AreaTable
 	at.Build(rects)

@@ -1,0 +1,5 @@
+//go:build !race
+
+package geom
+
+const raceEnabled = false

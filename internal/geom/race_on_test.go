@@ -1,0 +1,7 @@
+//go:build race
+
+package geom
+
+// raceEnabled reports whether the race detector is compiled in; its
+// instrumentation makes testing.AllocsPerRun counts meaningless.
+const raceEnabled = true
