@@ -39,6 +39,7 @@ func main() {
 	out := flag.String("o", "", "output solution path (default <design>_fill.<ext>)")
 	lambda := flag.Float64("lambda", 0, "candidate overfill factor λ (0 = default)")
 	workers := flag.Int("workers", 0, "window-level parallelism (0 = all cores)")
+	shards := flag.Int("shards", 0, "row-band shards for hierarchical planning and emission (0 = one per core); output is identical for every value")
 	deadline := flag.Duration("deadline", 0, "soft time budget: past it, remaining windows emit unshrunk candidates instead of failing (0 = unlimited)")
 	stream := flag.Bool("stream", false, "stream fills to the output as windows complete (method ours only; bounded memory, no score report)")
 	var prof exp.Profiling
@@ -85,6 +86,7 @@ func main() {
 		opts.Lambda = *lambda
 	}
 	opts.Workers = *workers
+	opts.Shards = *shards
 	opts.Budget = *deadline
 
 	if *stream {

@@ -39,6 +39,8 @@ func main() {
 	formatName := flag.String("format", "auto", "input layout format for -in: auto (sniff), "+strings.Join(dummyfill.Formats(), ", "))
 	window := flag.Int64("window", 0, "window size for -in layouts without one (0 = die/16)")
 	deadline := flag.Duration("deadline", 0, "soft per-run time budget for the fill engine: past it, remaining windows emit unshrunk candidates instead of failing (0 = unlimited)")
+	workers := flag.Int("workers", 0, "window-level parallelism for the fill engine (0 = all cores)")
+	shards := flag.Int("shards", 0, "row-band shards for hierarchical planning and emission (0 = one per core); output is identical for every value")
 	var prof exp.Profiling
 	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -66,6 +68,8 @@ func main() {
 	}
 	opts := fill.DefaultOptions()
 	opts.Budget = *deadline
+	opts.Workers = *workers
+	opts.Shards = *shards
 	out := os.Stdout
 	text := format == exp.Text
 

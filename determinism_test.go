@@ -58,12 +58,18 @@ var goldenGDS = map[string]string{
 
 func gdsHash(t *testing.T, design string, workers int) string {
 	t.Helper()
+	return gdsHashSharded(t, design, workers, 0)
+}
+
+func gdsHashSharded(t *testing.T, design string, workers, shards int) string {
+	t.Helper()
 	lay, _, err := dummyfill.GenerateBenchmark(design)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts := dummyfill.DefaultOptions()
 	opts.Workers = workers
+	opts.Shards = shards
 	res, err := dummyfill.Insert(lay, opts)
 	if err != nil {
 		t.Fatal(err)
@@ -99,6 +105,63 @@ func TestGoldenGDSHashes(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestGoldenGDSHashesSharded checks that row-band sharding never changes
+// the output: every (shards, workers) pair must reproduce the same pinned
+// golden hashes as the unsharded run. Sharding redistributes planning
+// assembly and fill emission across shard-local schedules; the reconciled
+// global targets and the per-window sizing are byte-for-byte unaffected.
+func TestGoldenGDSHashesSharded(t *testing.T) {
+	shardSet := []int{1, 2, 4, runtime.NumCPU()}
+	workerSet := []int{1, runtime.NumCPU()}
+	if runtime.NumCPU() == 1 {
+		// Force a genuinely parallel schedule even on single-core hosts.
+		workerSet = []int{1, 4}
+	}
+	for _, design := range []string{"tiny", "s"} {
+		design := design
+		t.Run(design, func(t *testing.T) {
+			for _, shards := range shardSet {
+				for _, workers := range workerSet {
+					if got := gdsHashSharded(t, design, workers, shards); got != goldenGDS[design] {
+						t.Fatalf("shards=%d workers=%d: GDS hash %s, want %s",
+							shards, workers, got, goldenGDS[design])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestInsertStreamShardedDeterministic checks the streaming path under
+// sharding: every (shards, workers) combination must produce a stream
+// byte-identical to the unsharded single-worker reference — the shard
+// emitter's head-ordering hands the sink the exact same strictly
+// increasing window sequence regardless of shard or worker topology.
+func TestInsertStreamShardedDeterministic(t *testing.T) {
+	lay, _, err := dummyfill.GenerateBenchmark("tiny")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := func(workers, shards int) []byte {
+		opts := dummyfill.DefaultOptions()
+		opts.Workers = workers
+		opts.Shards = shards
+		var buf bytes.Buffer
+		if _, err := dummyfill.InsertStreamGDS(context.Background(), &buf, lay, opts); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ref := stream(1, 1)
+	for _, shards := range []int{1, 2, 4, runtime.NumCPU()} {
+		for _, workers := range []int{1, 2, 4, 7} {
+			if got := stream(workers, shards); !bytes.Equal(ref, got) {
+				t.Fatalf("streamed GDS differs at shards=%d workers=%d", shards, workers)
+			}
+		}
 	}
 }
 

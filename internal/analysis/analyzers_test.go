@@ -9,6 +9,9 @@ import "testing"
 func TestNoDetermFixtures(t *testing.T) {
 	runFixture(t, NoDeterm, fixturePath("nodeterm", "bad.go"), "dummyfill/internal/fill")
 	runFixture(t, NoDeterm, fixturePath("nodeterm", "clean.go"), "dummyfill/internal/fill")
+	// Shard-scheduler hazards: map-range over shard state, clock-driven
+	// shard decisions.
+	runFixture(t, NoDeterm, fixturePath("nodeterm", "shard.go"), "dummyfill/internal/fill")
 }
 
 // TestNoDetermScope checks that the same hazards outside the
@@ -24,6 +27,9 @@ func TestNoDetermScope(t *testing.T) {
 func TestCtxFlowFixtures(t *testing.T) {
 	runFixture(t, CtxFlow, fixturePath("ctxflow", "bad.go"), "dummyfill/internal/fill")
 	runFixture(t, CtxFlow, fixturePath("ctxflow", "clean.go"), "dummyfill/internal/fill")
+	// Shard-scheduler hazards: per-shard planning detached from the run
+	// context.
+	runFixture(t, CtxFlow, fixturePath("ctxflow", "shard.go"), "dummyfill/internal/fill")
 }
 
 func TestPoolPairFixtures(t *testing.T) {

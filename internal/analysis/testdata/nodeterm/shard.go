@@ -1,0 +1,30 @@
+// Shard-scheduler determinism hazards: the band decomposition and the
+// shard → window assignment must never flow through map iteration or
+// wall-clock reads, or the reconciled plan (and hence the emitted
+// geometry) would depend on runtime accidents instead of the input.
+package fill
+
+import "time"
+
+type shardBand struct{ k0, k1 int }
+
+func shardSpans(byID map[int]shardBand) (total int) {
+	for _, b := range byID { // want "range over a map"
+		total += b.k1 - b.k0
+	}
+	return total
+}
+
+func shardDeadline(b shardBand) bool {
+	// Scheduling a shard off the clock instead of Options.Budget.
+	return time.Now().Unix()%2 == 0 // want "wall-clock read time.Now"
+}
+
+// shardSpansOrdered is the clean counterpart: a slice keeps the canonical
+// shard order, so iteration is deterministic.
+func shardSpansOrdered(bands []shardBand) (total int) {
+	for _, b := range bands {
+		total += b.k1 - b.k0
+	}
+	return total
+}

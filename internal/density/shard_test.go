@@ -1,0 +1,33 @@
+package density
+
+import "testing"
+
+func TestPlanHaloRows(t *testing.T) {
+	cases := []struct{ r, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {4, 1}, {16, 1},
+	}
+	for _, c := range cases {
+		if got := PlanHaloRows(c.r); got != c.want {
+			t.Errorf("PlanHaloRows(%d) = %d, want %d", c.r, got, c.want)
+		}
+	}
+}
+
+func TestDivergence(t *testing.T) {
+	a := &Plan{Td: []float64{0.375, 0.5, 0.625}}
+	b := &Plan{Td: []float64{0.375, 0.75, 0.5}}
+	if got := Divergence(a, b); got != 0.25 {
+		t.Fatalf("Divergence = %v, want 0.25", got)
+	}
+	if got := Divergence(a, a); got != 0 {
+		t.Fatalf("self Divergence = %v, want 0", got)
+	}
+	if got := Divergence(nil, a); got != 0 {
+		t.Fatalf("nil Divergence = %v, want 0", got)
+	}
+	// Mismatched lengths compare the common prefix.
+	c := &Plan{Td: []float64{0.5}}
+	if got := Divergence(a, c); got != 0.125 {
+		t.Fatalf("prefix Divergence = %v, want 0.125", got)
+	}
+}

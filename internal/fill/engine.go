@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"slices"
 	"sync"
 	"sync/atomic"
@@ -132,25 +133,6 @@ func (e *Engine) applyMinDensity(td []float64) {
 	}
 }
 
-// wireDensities builds the per-layer per-window wire density maps from
-// the window states computed during preparation. Values are bit-identical
-// to layout.WireDensityMap (same union areas, same float division) but
-// cost no extra clipping pass over the layout.
-func (e *Engine) wireDensities(wins []*window) []*grid.Map {
-	nl := len(e.lay.Layers)
-	maps := make([]*grid.Map, nl)
-	for li := 0; li < nl; li++ {
-		m := grid.NewMap(e.g)
-		for k, w := range wins {
-			if wa := float64(w.rect.Area()); wa > 0 {
-				m.V[k] = float64(w.layers[li].wireArea) / wa
-			}
-		}
-		maps[li] = m
-	}
-	return maps
-}
-
 // planWeights derives planning weights from contest α weights with
 // layout-scale βs: planning only needs relative weighting, so βs are set
 // from the unfilled layout's metrics (worst case) to keep all three terms
@@ -250,7 +232,7 @@ func (e *Engine) prepareWindows(ctx context.Context) ([]*window, error) {
 	inset := (e.lay.Rules.MinSpace + 1) / 2
 
 	// Stripe tasks: task t covers layer t/ny, window row t%ny.
-	err := e.parallelFor(ctx, nl*ny, func(_ context.Context, t int) error {
+	err := e.parallelForStage(ctx, nl*ny, "prep", func(_ context.Context, t int) error {
 		li, j := t/ny, t%ny
 		layer := e.lay.Layers[li]
 		sc := prepPool.Get().(*prepScratch)
@@ -346,52 +328,6 @@ func (e *Engine) prepareWindows(ctx context.Context) ([]*window, error) {
 	return wins, nil
 }
 
-// bounds derives per-layer planning bounds. When selected is nil the upper
-// bound uses all tileable cells; otherwise the given per-window selected
-// areas.
-func (e *Engine) bounds(wins []*window, selected [][]int64) []density.LayerBounds {
-	nl := len(e.lay.Layers)
-	out := make([]density.LayerBounds, nl)
-	for li := 0; li < nl; li++ {
-		lower := grid.NewMap(e.g)
-		upper := grid.NewMap(e.g)
-		for k, w := range wins {
-			aw := float64(w.rect.Area())
-			if aw == 0 {
-				continue
-			}
-			wl := w.layers[li]
-			var fillable int64
-			if selected != nil {
-				fillable = selected[k][li]
-			} else {
-				// Closed-form tileable area per free piece — no cell
-				// materialization.
-				for _, fr := range wl.free {
-					fillable += TileRegionArea(fr, e.lay.Rules)
-				}
-			}
-			lower.V[k] = float64(wl.wireArea) / aw
-			upper.V[k] = float64(wl.wireArea+fillable) / aw
-		}
-		out[li] = density.LayerBounds{Lower: lower, Upper: upper}
-	}
-	return out
-}
-
-// selectedAreas sums the selected candidate area per window per layer.
-func selectedAreas(wins []*window, nl int) [][]int64 {
-	out := make([][]int64, len(wins))
-	flat := make([]int64, len(wins)*nl)
-	for k, w := range wins {
-		out[k] = flat[k*nl : (k+1)*nl : (k+1)*nl]
-		for _, c := range w.sel {
-			out[k][c.layer] += c.rect.Area()
-		}
-	}
-	return out
-}
-
 // windowTargets converts the per-layer target densities into per-window
 // target fill areas, clamped to what the window can hold (Eqn. 5). The
 // returned slice aliases scratch storage.
@@ -440,17 +376,34 @@ func (e *Engine) workerCount(n int) int {
 // boundary, and no new task is claimed after a failure. Cancellation of
 // the parent context likewise stops the pool and returns its error.
 func (e *Engine) parallelFor(ctx context.Context, n int, fn func(ctx context.Context, idx int) error) error {
+	return e.parallelForStage(ctx, n, "", fn)
+}
+
+// parallelForStage is parallelFor with a pprof stage label: when stage is
+// non-empty, every worker (and the serial path) runs under
+// {"stage": stage} so CPU profiles attribute samples to pipeline stages.
+func (e *Engine) parallelForStage(ctx context.Context, n int, stage string, fn func(ctx context.Context, idx int) error) error {
+	body := func(ctx context.Context, run func(ctx context.Context)) {
+		if stage == "" {
+			run(ctx)
+			return
+		}
+		pprof.Do(ctx, pprof.Labels("stage", stage), run)
+	}
 	workers := e.workerCount(n)
 	if workers <= 1 {
-		for idx := 0; idx < n; idx++ {
-			if err := ctx.Err(); err != nil {
-				return err
+		var serr error
+		body(ctx, func(ctx context.Context) {
+			for idx := 0; idx < n; idx++ {
+				if serr = ctx.Err(); serr != nil {
+					return
+				}
+				if serr = fn(ctx, idx); serr != nil {
+					return
+				}
 			}
-			if err := fn(ctx, idx); err != nil {
-				return err
-			}
-		}
-		return nil
+		})
+		return serr
 	}
 	wctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -464,17 +417,19 @@ func (e *Engine) parallelFor(ctx context.Context, n int, fn func(ctx context.Con
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for wctx.Err() == nil {
-				idx := int(next.Add(1)) - 1
-				if idx >= n {
-					return
+			body(wctx, func(ctx context.Context) {
+				for ctx.Err() == nil {
+					idx := int(next.Add(1)) - 1
+					if idx >= n {
+						return
+					}
+					if err := fn(ctx, idx); err != nil {
+						once.Do(func() { firstErr = err })
+						cancel()
+						return
+					}
 				}
-				if err := fn(wctx, idx); err != nil {
-					once.Do(func() { firstErr = err })
-					cancel()
-					return
-				}
-			}
+			})
 		}()
 	}
 	wg.Wait()
@@ -487,5 +442,10 @@ func (e *Engine) parallelFor(ctx context.Context, n int, fn func(ctx context.Con
 // forEachWindow applies fn to every window, in parallel across workers.
 // The first error wins and cancels outstanding work.
 func (e *Engine) forEachWindow(ctx context.Context, wins []*window, fn func(ctx context.Context, k int, w *window) error) error {
-	return e.parallelFor(ctx, len(wins), func(ctx context.Context, k int) error { return fn(ctx, k, wins[k]) })
+	return e.forEachWindowStage(ctx, wins, "", fn)
+}
+
+// forEachWindowStage is forEachWindow under a pprof stage label.
+func (e *Engine) forEachWindowStage(ctx context.Context, wins []*window, stage string, fn func(ctx context.Context, k int, w *window) error) error {
+	return e.parallelForStage(ctx, len(wins), stage, func(ctx context.Context, k int) error { return fn(ctx, k, wins[k]) })
 }

@@ -41,9 +41,20 @@ type Health struct {
 	Elapsed time.Duration `json:"elapsed"`
 	// PeakInFlight is the maximum number of windows resident in the
 	// sizing→emit stage at once (claimed by a worker but not yet released
-	// to the sink). It is bounded by the reorder-buffer capacity. Like
-	// Elapsed it depends on worker scheduling, not on the input alone.
+	// toward the sink). With shards it is the worst per-shard reorder
+	// buffer occupancy. Like Elapsed it depends on worker scheduling, not
+	// on the input alone.
 	PeakInFlight int `json:"peak_in_flight,omitempty"`
+	// Shards is the number of row-band shards the run planned and emitted
+	// through (1 = unsharded global pass).
+	Shards int `json:"shards,omitempty"`
+	// PlanDivergence is the worst absolute target-density gap between any
+	// shard's halo-local planning proposal and the reconciled global
+	// targets, across both planning rounds. It is deterministic for a
+	// given layout and options (including Shards) and 0 when a single
+	// shard covers the grid — the distributed-planning readiness signal:
+	// how wrong would fully local planning have been.
+	PlanDivergence float64 `json:"plan_divergence,omitempty"`
 }
 
 // Healthy reports whether every window was sized normally: no fallbacks,
@@ -62,6 +73,9 @@ func (h Health) String() string {
 	if h.BudgetExceeded {
 		s += " budget-exceeded"
 	}
+	if h.Shards > 1 {
+		s += fmt.Sprintf(" shards=%d plan-div=%.4f", h.Shards, h.PlanDivergence)
+	}
 	return s + fmt.Sprintf(" elapsed=%s", h.Elapsed.Round(time.Millisecond))
 }
 
@@ -70,6 +84,18 @@ type healthCollector struct {
 	sized, skipped, cold, simplex, degraded, recovered atomic.Int64
 	peak                                               atomic.Int64
 	budgetExceeded                                     atomic.Bool
+	// shards and planDivergence are written only by the coordinating
+	// pipeline goroutine, between parallel phases — no atomics needed.
+	shards         int
+	planDivergence float64
+}
+
+// noteDivergence records a shard proposal's divergence from the
+// reconciled plan (max wins). Called only from the pipeline goroutine.
+func (hc *healthCollector) noteDivergence(d float64) {
+	if d > hc.planDivergence {
+		hc.planDivergence = d
+	}
 }
 
 // notePeak records an observed in-flight peak (max wins).
@@ -96,5 +122,7 @@ func (hc *healthCollector) health(windows int, budget, elapsed time.Duration) He
 		Budget:          budget,
 		Elapsed:         elapsed,
 		PeakInFlight:    int(hc.peak.Load()),
+		Shards:          hc.shards,
+		PlanDivergence:  hc.planDivergence,
 	}
 }

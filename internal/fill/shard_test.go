@@ -1,0 +1,243 @@
+package fill
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"dummyfill/internal/faultinject"
+	"dummyfill/internal/layout"
+)
+
+// TestShardsResolution checks the Options.Shards → band decomposition:
+// shards cover the full canonical window range contiguously, the count is
+// capped by the grid's rows, and the split depends only on the option.
+func TestShardsResolution(t *testing.T) {
+	e, err := New(gradientLayout(), DefaultOptions()) // 4x4 windows
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ opt, want int }{
+		{1, 1}, {2, 2}, {3, 3}, {4, 4},
+		{100, 4}, // capped at NY rows
+	} {
+		e.opts.Shards = tc.opt
+		sh := e.shards()
+		if len(sh) != tc.want {
+			t.Fatalf("Shards=%d: got %d shards, want %d", tc.opt, len(sh), tc.want)
+		}
+		next := 0
+		for i, s := range sh {
+			if s.id != i {
+				t.Fatalf("Shards=%d: shard %d has id %d", tc.opt, i, s.id)
+			}
+			if s.k0 != next || s.k1 <= s.k0 {
+				t.Fatalf("Shards=%d: shard %d range [%d,%d), want start %d",
+					tc.opt, i, s.k0, s.k1, next)
+			}
+			next = s.k1
+		}
+		if next != e.g.NumWindows() {
+			t.Fatalf("Shards=%d: shards cover %d windows, grid has %d",
+				tc.opt, next, e.g.NumWindows())
+		}
+	}
+	// Default (0) resolves to at least one shard.
+	e.opts.Shards = 0
+	if sh := e.shards(); len(sh) < 1 {
+		t.Fatalf("default shards: got %d", len(sh))
+	}
+}
+
+// orderSink records the window indices it receives and fails on demand.
+type orderSink struct {
+	ks      []int
+	failAtK int // emit error when this k arrives (-1 = never)
+}
+
+func (s *orderSink) EmitWindow(k int, fills []layout.Fill) error {
+	if s.failAtK >= 0 && k == s.failAtK {
+		return errors.New("sink boom")
+	}
+	s.ks = append(s.ks, k)
+	return nil
+}
+
+// TestShardEmitterCanonicalOrder drives the emitter with shards finishing
+// in adversarial orders and checks the sink always observes the canonical
+// strictly increasing window sequence.
+func TestShardEmitterCanonicalOrder(t *testing.T) {
+	// 4 shards × 3 windows each; emit window k of shard id = 3*id+j.
+	const nShards, perShard = 4, 3
+	finishOrders := [][]int{
+		{0, 1, 2, 3},
+		{3, 2, 1, 0},
+		{2, 0, 3, 1},
+		{1, 3, 0, 2},
+	}
+	for _, order := range finishOrders {
+		sink := &orderSink{failAtK: -1}
+		em := newShardEmitter(sink, nShards)
+		for _, id := range order {
+			for j := 0; j < perShard; j++ {
+				k := id*perShard + j
+				if err := em.emit(id, k, []layout.Fill{{Layer: k}}); err != nil {
+					t.Fatalf("order %v: emit(%d,%d): %v", order, id, k, err)
+				}
+			}
+			if err := em.finish(id); err != nil {
+				t.Fatalf("order %v: finish(%d): %v", order, id, err)
+			}
+		}
+		if len(sink.ks) != nShards*perShard {
+			t.Fatalf("order %v: sink saw %d windows, want %d", order, len(sink.ks), nShards*perShard)
+		}
+		for i, k := range sink.ks {
+			if k != i {
+				t.Fatalf("order %v: sink position %d got window %d", order, i, k)
+			}
+		}
+	}
+}
+
+// TestShardEmitterInterleaved interleaves emissions across unfinished
+// shards: the head shard's windows pass straight through while later
+// shards buffer, and each buffered segment flushes exactly when the head
+// advances onto it.
+func TestShardEmitterInterleaved(t *testing.T) {
+	sink := &orderSink{failAtK: -1}
+	em := newShardEmitter(sink, 3)
+	// Shard 2 and 1 emit before shard 0 has produced anything.
+	for _, step := range []struct{ id, k int }{
+		{2, 20}, {1, 10}, {2, 21}, {0, 0}, {1, 11}, {0, 1},
+	} {
+		if err := em.emit(step.id, step.k, []layout.Fill{{Layer: step.k}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Only the head shard's windows have reached the sink so far.
+	if fmt.Sprint(sink.ks) != "[0 1]" {
+		t.Fatalf("before finishes sink saw %v, want [0 1]", sink.ks)
+	}
+	// Finishing out of order: 2 first (no flush), then 0 (flushes 1's
+	// buffer; 1 still open), then 1 (flushes 2's buffer).
+	if err := em.finish(2); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(sink.ks) != "[0 1]" {
+		t.Fatalf("after finish(2) sink saw %v", sink.ks)
+	}
+	if err := em.finish(0); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(sink.ks) != "[0 1 10 11]" {
+		t.Fatalf("after finish(0) sink saw %v", sink.ks)
+	}
+	if err := em.finish(1); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(sink.ks) != "[0 1 10 11 20 21]" {
+		t.Fatalf("after finish(1) sink saw %v", sink.ks)
+	}
+}
+
+// TestShardEmitterSinkErrorSticks checks a sink failure poisons the
+// emitter: the failing emit returns the error and so does every later
+// emit or finish, from any shard.
+func TestShardEmitterSinkErrorSticks(t *testing.T) {
+	sink := &orderSink{failAtK: 1}
+	em := newShardEmitter(sink, 2)
+	if err := em.emit(0, 0, []layout.Fill{{}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := em.emit(0, 1, []layout.Fill{{}}); err == nil {
+		t.Fatal("sink error not propagated")
+	}
+	if err := em.emit(1, 5, []layout.Fill{{}}); err == nil {
+		t.Fatal("emitter accepted work after sink failure")
+	}
+	if err := em.finish(0); err == nil {
+		t.Fatal("finish succeeded after sink failure")
+	}
+}
+
+// TestShardedRunsByteIdentical runs the engine across the shard × worker
+// topology matrix — serial, chained shards (workers ≤ shards) and
+// per-shard worker groups (workers > shards) — and requires geometrically
+// identical solutions plus correctly reported shard health everywhere.
+func TestShardedRunsByteIdentical(t *testing.T) {
+	ref := runWith(t, 1, func(o *Options) { o.Shards = 1 })
+	if ref.Health.Shards != 1 || ref.Health.PlanDivergence != 0 {
+		t.Fatalf("unsharded health: %+v", ref.Health)
+	}
+	var divAt2 []float64
+	for _, shards := range []int{1, 2, 3, 4} {
+		for _, workers := range []int{1, 2, 3, 8} {
+			label := fmt.Sprintf("shards=%d workers=%d", shards, workers)
+			res := runWith(t, workers, func(o *Options) { o.Shards = shards })
+			sameFills(t, ref.Solution.Fills, res.Solution.Fills, label)
+			checkInvariants(t, res.Health)
+			if res.Health.Shards != shards {
+				t.Fatalf("%s: Health.Shards = %d", label, res.Health.Shards)
+			}
+			if shards == 1 && res.Health.PlanDivergence != 0 {
+				t.Fatalf("%s: single shard diverged: %v", label, res.Health.PlanDivergence)
+			}
+			if shards == 2 {
+				divAt2 = append(divAt2, res.Health.PlanDivergence)
+			}
+		}
+	}
+	// PlanDivergence is a pure function of layout and options — identical
+	// across worker counts for a fixed shard count.
+	for _, d := range divAt2 {
+		if d != divAt2[0] {
+			t.Fatalf("PlanDivergence varies across workers at shards=2: %v", divAt2)
+		}
+	}
+}
+
+// TestShardedHealthString checks the shard fields render in the one-line
+// health report.
+func TestShardedHealthString(t *testing.T) {
+	h := Health{Windows: 4, Sized: 4, Shards: 3, PlanDivergence: 0.125}
+	if s := h.String(); !strings.Contains(s, "shards=3") || !strings.Contains(s, "plan-div=0.1250") {
+		t.Fatalf("shard fields missing from %q", s)
+	}
+	if s := (Health{Windows: 4, Sized: 4, Shards: 1}).String(); strings.Contains(s, "shards=") {
+		t.Fatalf("unsharded report mentions shards: %q", s)
+	}
+}
+
+// TestShardedResilience checks fault degradation under sharding: injected
+// solver faults are window-keyed, so the degraded fill set and health
+// counters must match the unsharded run exactly for every topology.
+func TestShardedResilience(t *testing.T) {
+	mk := func(workers, shards int) *Result {
+		return runWith(t, workers, func(o *Options) {
+			o.Shards = shards
+			o.Inject = faultinject.New(42).
+				WithRate(faultinject.SiteWarmSolve, 0.5).
+				WithRate(faultinject.SiteColdSolve, 0.5)
+		})
+	}
+	ref := mk(1, 1)
+	checkInvariants(t, ref.Health)
+	if ref.Health.Healthy() {
+		t.Fatal("faults injected but run reports healthy")
+	}
+	for _, tc := range []struct{ workers, shards int }{
+		{2, 4}, {4, 2}, {8, 3},
+	} {
+		res := mk(tc.workers, tc.shards)
+		label := fmt.Sprintf("shards=%d workers=%d", tc.shards, tc.workers)
+		sameFills(t, ref.Solution.Fills, res.Solution.Fills, label)
+		checkInvariants(t, res.Health)
+		if res.Health.FallbackCold != ref.Health.FallbackCold ||
+			res.Health.FallbackSimplex != ref.Health.FallbackSimplex ||
+			res.Health.Degraded != ref.Health.Degraded {
+			t.Fatalf("%s: health %s differs from unsharded %s", label, res.Health, ref.Health)
+		}
+	}
+}

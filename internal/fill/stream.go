@@ -2,6 +2,7 @@ package fill
 
 import (
 	"context"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,17 +48,22 @@ func (e *Engine) RunStream(ctx context.Context, sink Sink) (*Result, error) {
 	return e.runPipeline(ctx, sink)
 }
 
-// runPipeline is the shared two-barrier streaming pipeline behind
+// runPipeline is the shared shard-parallel streaming pipeline behind
 // RunContext and RunStream:
 //
 //	prep (stream) → plan 1 → candgen (stream) → plan 2 → size+emit (stream)
 //
-// The two density-planning rounds are the only global barriers — each
-// needs every window's bounds. Between them the windows flow through the
-// worker pool independently, and after the second barrier each window is
-// sized and released to the sink through a bounded reorder buffer, its
-// working state recycled as soon as it is emitted. No stage materializes
-// all candidate cells or all sized fills at once.
+// The two density-planning rounds are hierarchical (DESIGN.md §11): each
+// row-band shard assembles its slice of the global planning maps and
+// proposes targets over its halo neighbourhood in parallel, then a cheap
+// top-level reconcile runs the exact global target search over the
+// assembled maps — so planning synchronizes the shards only on the
+// O(windows) map reduction, never on per-window geometry work, and the
+// reconciled targets are byte-identical for every shard count. After the
+// second round each shard sizes and emits its windows independently
+// through its own reorder path; segments concatenate in canonical window
+// order. No stage materializes all candidate cells or all sized fills at
+// once.
 func (e *Engine) runPipeline(ctx context.Context, sink Sink) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -68,21 +74,37 @@ func (e *Engine) runPipeline(ctx context.Context, sink Sink) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	sh := e.shards()
+	hc := &healthCollector{shards: len(sh)}
 
-	// Planning round 1: bounds from tileable candidate area.
-	wd := e.wireDensities(wins)
+	// Planning round 1: bounds from tileable candidate area, assembled
+	// per shard; halo-local shard proposals scored against the reconciled
+	// global plan (single-shard runs skip the proposal — it would be the
+	// global plan itself).
+	bounds, wd, err := e.assembleBounds(ctx, wins, sh, false, "plan1")
+	if err != nil {
+		return nil, err
+	}
 	pw := e.planWeights(wd)
-	bounds := e.bounds(wins, nil)
+	var props []*density.Plan
+	if len(sh) > 1 {
+		if props, err = e.shardProposals(ctx, sh, bounds, wd, pw, "plan1"); err != nil {
+			return nil, err
+		}
+	}
 	plan1, err := density.PlanTargets(bounds, pw, e.opts.PlanSteps)
 	if err != nil {
 		return nil, err
 	}
 	e.applyMinDensity(plan1.Td)
+	for _, p := range props {
+		hc.noteDivergence(density.Divergence(p, plan1))
+	}
 
 	// Candidate generation under plan-1 guidance. The free pieces are
 	// consumed here: once a window's candidates are selected, only the
 	// selection and the wire slabs are still needed downstream.
-	err = e.forEachWindow(ctx, wins, func(_ context.Context, _ int, w *window) error {
+	err = e.forEachWindowStage(ctx, wins, "candgen", func(_ context.Context, _ int, w *window) error {
 		w.selectCandidates(e.lay, plan1.Td, e.opts.Lambda, e.opts.Gamma)
 		for li := range w.layers {
 			w.layers[li].free = nil
@@ -100,12 +122,23 @@ func (e *Engine) runPipeline(ctx context.Context, sink Sink) (*Result, error) {
 	// Planning round 2: bounds restricted to what was actually selected
 	// (§3 — "another round of density planning is performed due to the
 	// inconsistency between candidate fills and initial plans").
-	bounds2 := e.bounds(wins, selectedAreas(wins, len(e.lay.Layers)))
+	bounds2, _, err := e.assembleBounds(ctx, wins, sh, true, "plan2")
+	if err != nil {
+		return nil, err
+	}
+	if len(sh) > 1 {
+		if props, err = e.shardProposals(ctx, sh, bounds2, nil, pw, "plan2"); err != nil {
+			return nil, err
+		}
+	}
 	plan2, err := density.PlanTargets(bounds2, pw, e.opts.PlanSteps)
 	if err != nil {
 		return nil, err
 	}
 	e.applyMinDensity(plan2.Td)
+	for _, p := range props {
+		hc.noteDivergence(density.Divergence(p, plan2))
+	}
 	uppers := make([]*grid.Map, len(bounds2))
 	for i := range bounds2 {
 		uppers[i] = bounds2[i].Upper
@@ -114,8 +147,12 @@ func (e *Engine) runPipeline(ctx context.Context, sink Sink) (*Result, error) {
 		return nil, err
 	}
 
-	hc := &healthCollector{}
-	if err := e.sizeAndEmit(ctx, wins, plan2.Td, sink, hc, start); err != nil {
+	if e.workerCount(len(wins)) <= 1 || len(sh) == 1 {
+		err = e.sizeAndEmit(ctx, wins, plan2.Td, sink, hc, start)
+	} else {
+		err = e.sizeAndEmitSharded(ctx, wins, sh, plan2.Td, sink, hc, start)
+	}
+	if err != nil {
 		return nil, err
 	}
 
@@ -128,6 +165,29 @@ func (e *Engine) runPipeline(ctx context.Context, sink Sink) (*Result, error) {
 		//filllint:allow nodeterm -- Health reports observed wall-clock spend; it never feeds back into geometry
 		Health: hc.health(len(wins), e.opts.Budget, time.Since(start)),
 	}, nil
+}
+
+// produceWindow sizes window k through the resilient fallback chain and
+// converts the surviving cells to fills. It is the shared per-window work
+// of both the unsharded and the sharded size+emit stages; a nil fill
+// slice (window skipped or everything shrunk away) still counts as
+// produced and must be released to advance the emission frontier.
+func (e *Engine) produceWindow(ctx context.Context, k int, wins []*window, td []float64, sc *sizeScratch, hc *healthCollector, start time.Time) ([]layout.Fill, error) {
+	w := wins[k]
+	if len(w.sel) == 0 {
+		hc.skipped.Add(1)
+		return nil, nil
+	}
+	targets := e.windowTargets(w, td, sc)
+	cs, err := e.sizeWindowResilient(ctx, k, w, targets, sc, hc, start)
+	if err != nil || len(cs) == 0 {
+		return nil, err
+	}
+	fills := make([]layout.Fill, len(cs))
+	for i, c := range cs {
+		fills[i] = layout.Fill{Layer: c.layer, Rect: c.rect}
+	}
+	return fills, nil
 }
 
 // sizeAndEmit is the fused final stage: each window is sized through the
@@ -149,21 +209,7 @@ func (e *Engine) sizeAndEmit(ctx context.Context, wins []*window, td []float64, 
 	}
 
 	produce := func(ctx context.Context, k int, sc *sizeScratch) ([]layout.Fill, error) {
-		w := wins[k]
-		if len(w.sel) == 0 {
-			hc.skipped.Add(1)
-			return nil, nil
-		}
-		targets := e.windowTargets(w, td, sc)
-		cs, err := e.sizeWindowResilient(ctx, k, w, targets, sc, hc, start)
-		if err != nil || len(cs) == 0 {
-			return nil, err
-		}
-		fills := make([]layout.Fill, len(cs))
-		for i, c := range cs {
-			fills[i] = layout.Fill{Layer: c.layer, Rect: c.rect}
-		}
-		return fills, nil
+		return e.produceWindow(ctx, k, wins, td, sc, hc, start)
 	}
 	release := func(k int, fills []layout.Fill) error {
 		w := wins[k]
@@ -181,19 +227,22 @@ func (e *Engine) sizeAndEmit(ctx context.Context, wins []*window, td []float64, 
 	if workers <= 1 {
 		sc := newSizeScratch(e.opts)
 		hc.notePeak(1)
-		for k := 0; k < nw; k++ {
-			if err := ctx.Err(); err != nil {
-				return err
+		var serr error
+		pprof.Do(ctx, pprof.Labels("stage", "size-emit"), func(ctx context.Context) {
+			for k := 0; k < nw; k++ {
+				if serr = ctx.Err(); serr != nil {
+					return
+				}
+				var fills []layout.Fill
+				if fills, serr = produce(ctx, k, sc); serr != nil {
+					return
+				}
+				if serr = release(k, fills); serr != nil {
+					return
+				}
 			}
-			fills, err := produce(ctx, k, sc)
-			if err != nil {
-				return err
-			}
-			if err := release(k, fills); err != nil {
-				return err
-			}
-		}
-		return nil
+		})
+		return serr
 	}
 
 	// Buffer capacity: enough slack that workers rarely stall on an
@@ -229,21 +278,23 @@ func (e *Engine) sizeAndEmit(ctx context.Context, wins []*window, td []float64, 
 		go func() {
 			defer wg.Done()
 			sc := newSizeScratch(e.opts)
-			for wctx.Err() == nil {
-				k := int(next.Add(1)) - 1
-				if k >= nw {
-					return
+			pprof.Do(wctx, pprof.Labels("stage", "size-emit"), func(ctx context.Context) {
+				for ctx.Err() == nil {
+					k := int(next.Add(1)) - 1
+					if k >= nw {
+						return
+					}
+					fills, err := produce(ctx, k, sc)
+					if err == nil {
+						err = rb.deliver(k, fills)
+					}
+					if err != nil {
+						once.Do(func() { firstErr = err })
+						cancel()
+						return
+					}
 				}
-				fills, err := produce(wctx, k, sc)
-				if err == nil {
-					err = rb.deliver(k, fills)
-				}
-				if err != nil {
-					once.Do(func() { firstErr = err })
-					cancel()
-					return
-				}
-			}
+			})
 		}()
 	}
 	wg.Wait()

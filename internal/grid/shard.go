@@ -1,0 +1,85 @@
+package grid
+
+// This file implements the row-band sharding of a window grid used by the
+// shard-parallel hierarchical density planner: the grid's NY window rows
+// are split into contiguous bands, each band owning the row-major window
+// index range [J0*NX, J1*NX). Bands are the only shard shape the engine
+// uses — full-width row bands keep every shard a contiguous run of
+// canonical window indices, which is what makes per-shard output segments
+// concatenate back into canonical window order without a global sort.
+
+// Band is a contiguous range of window rows [J0, J1) — one shard of the
+// grid. A Band never owns partial rows: shard boundaries are always row
+// boundaries, so shard window indices are contiguous in row-major order.
+type Band struct {
+	J0, J1 int
+}
+
+// Rows returns the number of window rows in the band.
+func (b Band) Rows() int { return b.J1 - b.J0 }
+
+// WindowRange returns the half-open canonical window index range
+// [k0, k1) owned by the band on grid g.
+func (b Band) WindowRange(g *Grid) (k0, k1 int) {
+	return b.J0 * g.NX, b.J1 * g.NX
+}
+
+// Windows returns the number of windows in the band on grid g.
+func (b Band) Windows(g *Grid) int { return b.Rows() * g.NX }
+
+// Halo returns the band expanded by `rows` window rows on each side,
+// clamped to the grid — the shard plus its halo ring of neighbour rows.
+// The halo gives a shard-local computation the cross-shard context it
+// needs (e.g. densities of windows an overlapping analysis window can
+// reach across the shard border).
+func (b Band) Halo(g *Grid, rows int) Band {
+	h := Band{J0: b.J0 - rows, J1: b.J1 + rows}
+	if h.J0 < 0 {
+		h.J0 = 0
+	}
+	if h.J1 > g.NY {
+		h.J1 = g.NY
+	}
+	return h
+}
+
+// Bands splits the grid's window rows into n contiguous near-equal bands.
+// n is clamped to [1, NY], so every returned band is non-empty. The split
+// depends only on (NY, n) — boundaries are i*NY/n — never on scheduling,
+// so a band decomposition is deterministic for a given grid and count.
+func (g *Grid) Bands(n int) []Band {
+	if n < 1 {
+		n = 1
+	}
+	if n > g.NY {
+		n = g.NY
+	}
+	out := make([]Band, n)
+	for i := 0; i < n; i++ {
+		out[i] = Band{J0: i * g.NY / n, J1: (i + 1) * g.NY / n}
+	}
+	return out
+}
+
+// SubGrid returns the grid restricted to band b: same window size and
+// column count, rows J0..J1-1, die clipped to the band's extent. Window
+// (i, j) of the sub-grid is exactly window (i, J0+j) of g — including
+// partial windows at the die edge — so per-window areas, and therefore
+// densities computed over a sub-grid view, match the parent grid's.
+func (g *Grid) SubGrid(b Band) *Grid {
+	die := g.Die
+	die.YL = g.Die.YL + int64(b.J0)*g.W
+	if yh := g.Die.YL + int64(b.J1)*g.W; yh < die.YH {
+		die.YH = yh
+	}
+	return &Grid{Die: die, W: g.W, NX: g.NX, NY: b.Rows()}
+}
+
+// Rows returns a view of m restricted to band b: a Map over the band's
+// sub-grid whose values alias m's storage (no copy). Writes through the
+// view are visible in m; concurrent writers of disjoint bands never
+// overlap because bands own disjoint row-major index ranges.
+func (m *Map) Rows(b Band) *Map {
+	k0, k1 := b.WindowRange(m.G)
+	return &Map{G: m.G.SubGrid(b), V: m.V[k0:k1:k1]}
+}

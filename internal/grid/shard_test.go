@@ -1,0 +1,125 @@
+package grid
+
+import (
+	"testing"
+
+	"dummyfill/internal/geom"
+)
+
+func TestBandsCoverAllRows(t *testing.T) {
+	g, err := New(geom.R(0, 0, 1000, 730), 100) // NY = 8 (partial top row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := -1; n <= g.NY+3; n++ {
+		bands := g.Bands(n)
+		want := n
+		if want < 1 {
+			want = 1
+		}
+		if want > g.NY {
+			want = g.NY
+		}
+		if len(bands) != want {
+			t.Fatalf("Bands(%d): got %d bands, want %d", n, len(bands), want)
+		}
+		row := 0
+		for i, b := range bands {
+			if b.J0 != row {
+				t.Fatalf("Bands(%d): band %d starts at row %d, want %d", n, i, b.J0, row)
+			}
+			if b.Rows() < 1 {
+				t.Fatalf("Bands(%d): band %d empty", n, i)
+			}
+			row = b.J1
+		}
+		if row != g.NY {
+			t.Fatalf("Bands(%d): bands end at row %d, want %d", n, row, g.NY)
+		}
+	}
+}
+
+func TestBandWindowRangeContiguous(t *testing.T) {
+	g, err := New(geom.R(0, 0, 500, 500), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	for _, b := range g.Bands(3) {
+		k0, k1 := b.WindowRange(g)
+		if k0 != next {
+			t.Fatalf("band %+v starts at window %d, want %d", b, k0, next)
+		}
+		if k1-k0 != b.Windows(g) {
+			t.Fatalf("band %+v: range %d..%d disagrees with Windows()=%d", b, k0, k1, b.Windows(g))
+		}
+		next = k1
+	}
+	if next != g.NumWindows() {
+		t.Fatalf("bands cover %d windows, want %d", next, g.NumWindows())
+	}
+}
+
+func TestBandHaloClamps(t *testing.T) {
+	g, err := New(geom.R(0, 0, 400, 600), 100) // NY = 6
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Band{J0: 2, J1: 4}
+	if h := b.Halo(g, 1); h != (Band{J0: 1, J1: 5}) {
+		t.Fatalf("Halo(1) = %+v", h)
+	}
+	if h := b.Halo(g, 10); h != (Band{J0: 0, J1: 6}) {
+		t.Fatalf("Halo(10) = %+v, want full grid", h)
+	}
+	if h := b.Halo(g, 0); h != b {
+		t.Fatalf("Halo(0) = %+v, want %+v", h, b)
+	}
+}
+
+// TestSubGridWindowsMatchParent pins the invariant density views rely on:
+// window (i,j) of the sub-grid is window (i, J0+j) of the parent grid,
+// including the partial top row at the die edge.
+func TestSubGridWindowsMatchParent(t *testing.T) {
+	g, err := New(geom.R(0, 0, 430, 730), 100) // partial windows on both axes
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range g.Bands(3) {
+		sg := g.SubGrid(b)
+		if sg.NX != g.NX || sg.NY != b.Rows() || sg.W != g.W {
+			t.Fatalf("SubGrid(%+v) shape: %dx%d W=%d", b, sg.NX, sg.NY, sg.W)
+		}
+		for j := 0; j < sg.NY; j++ {
+			for i := 0; i < sg.NX; i++ {
+				if got, want := sg.Window(i, j), g.Window(i, b.J0+j); got != want {
+					t.Fatalf("SubGrid(%+v).Window(%d,%d) = %v, want %v", b, i, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMapRowsView(t *testing.T) {
+	g, err := New(geom.R(0, 0, 300, 500), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMap(g)
+	for k := range m.V {
+		m.V[k] = float64(k)
+	}
+	b := Band{J0: 2, J1: 4}
+	v := m.Rows(b)
+	if len(v.V) != b.Windows(g) {
+		t.Fatalf("view has %d values, want %d", len(v.V), b.Windows(g))
+	}
+	if v.At(1, 0) != m.At(1, 2) || v.At(2, 1) != m.At(2, 3) {
+		t.Fatalf("view values misaligned: %v", v.V)
+	}
+	// The view aliases the parent storage.
+	v.Set(0, 0, -1)
+	if m.At(0, 2) != -1 {
+		t.Fatal("view write not visible in parent map")
+	}
+}
