@@ -46,6 +46,10 @@ func main() {
 	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	if *deadline < 0 {
+		fatal(fmt.Errorf("-deadline must be >= 0 (0 = unlimited), got %v", *deadline))
+	}
+
 	// Ctrl-C hard-aborts the run; -deadline degrades it gracefully.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stopSignals()

@@ -1,0 +1,101 @@
+// Command fillserved serves the fill engine over HTTP: POST a layout to
+// /fill and get the solution deck back, byte-identical to what
+// `fillgen -stream` writes offline for the same input and options.
+//
+//	fillserved -addr :8080
+//	curl -s --data-binary @design.txt \
+//	    'localhost:8080/fill?format=text&oformat=gds&deadline=30s' > fill.gds
+//
+// The server is built for failure first: a bounded admission queue sheds
+// load with 429 + Retry-After, per-job deadlines degrade windows instead
+// of failing runs, panics are isolated per job, and SIGTERM drains
+// in-flight jobs under -drain before hard-aborting stragglers.
+// /metrics exposes Prometheus-style serving and Health telemetry;
+// /healthz and /stats report liveness and queue state.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dummyfill/cmd/internal/ingestfmt"
+	"dummyfill/internal/serve"
+
+	_ "dummyfill/internal/gdsii"
+	_ "dummyfill/internal/oasis"
+	_ "dummyfill/internal/textfmt"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "max concurrently running jobs (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max jobs waiting for a run slot before shedding with 429 (0 = 2x workers)")
+	deadline := flag.Duration("deadline", 60*time.Second, "default per-job deadline when the request names none (must be > 0)")
+	maxDeadline := flag.Duration("max-deadline", 5*time.Minute, "upper clamp on client-requested deadlines (must be > 0)")
+	drain := flag.Duration("drain", 30*time.Second, "how long SIGTERM waits for in-flight jobs before hard-aborting them")
+	maxBody := flag.Int64("max-body", 256<<20, "max ingest payload bytes")
+	cacheEntries := flag.Int("cache", 64, "layout cache capacity in entries (negative disables)")
+	flag.Parse()
+
+	// A non-positive deadline is always a misconfiguration at the serving
+	// layer: it would silently disable the degrade-don't-fail contract.
+	if *deadline <= 0 {
+		fatal(fmt.Errorf("-deadline must be positive, got %v", *deadline))
+	}
+	if *maxDeadline <= 0 {
+		fatal(fmt.Errorf("-max-deadline must be positive, got %v", *maxDeadline))
+	}
+
+	s := serve.New(serve.Config{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+		MaxBodyBytes:    *maxBody,
+		CacheEntries:    *cacheEntries,
+		Rules:           ingestfmt.DefaultRules,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	errs := make(chan error, 1)
+	go func() { errs <- hs.ListenAndServe() }()
+	log.Printf("fillserved listening on %s", *addr)
+
+	select {
+	case err := <-errs:
+		fatal(err)
+	case sig := <-sigs:
+		log.Printf("received %v, draining (up to %v)", sig, *drain)
+	}
+
+	dctx, dcancel := context.WithTimeout(context.Background(), *drain)
+	defer dcancel()
+	if err := s.Shutdown(dctx); err != nil {
+		log.Printf("drain deadline expired, stragglers hard-aborted: %v", err)
+	} else {
+		log.Printf("drained cleanly")
+	}
+	hctx, hcancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer hcancel()
+	if err := hs.Shutdown(hctx); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fillserved:", err)
+	os.Exit(1)
+}

@@ -45,6 +45,10 @@ func main() {
 	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
+	if *deadline < 0 {
+		fatal(fmt.Errorf("-deadline must be >= 0 (0 = unlimited), got %v", *deadline))
+	}
+
 	// Interrupt (Ctrl-C) hard-aborts in-flight engine runs via context;
 	// the -deadline budget, by contrast, degrades gracefully.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)

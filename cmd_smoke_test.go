@@ -1,12 +1,18 @@
 package dummyfill_test
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
 
 // buildTool compiles one cmd/ binary into a shared temp dir (built once
@@ -88,6 +94,125 @@ func TestCommandPipeline(t *testing.T) {
 	out = run(t, fillgen, "-in", gds, "-o", filepath.Join(dir, "ext_fill.gds"))
 	if !strings.Contains(out, "method ours") {
 		t.Fatalf("fillgen -in output: %s", out)
+	}
+}
+
+// TestFillservedSmoke drives the serving daemon the way an operator
+// would: start it, submit a layout over HTTP, check the response is
+// byte-identical to the offline `fillgen -stream` output for the same
+// input, scrape /metrics, and shut down cleanly with SIGTERM.
+func TestFillservedSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	layoutgen := buildTool(t, "layoutgen")
+	fillgen := buildTool(t, "fillgen")
+	fillserved := buildTool(t, "fillserved")
+
+	gds := filepath.Join(dir, "tiny.gds")
+	run(t, layoutgen, "-design", "tiny", "-o", gds)
+	refGds := filepath.Join(dir, "ref_fill.gds")
+	run(t, fillgen, "-in", gds, "-stream", "-workers", "2", "-o", refGds)
+	ref, err := os.ReadFile(refGds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := os.ReadFile(gds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Reserve a port, then hand it to the daemon.
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := lis.Addr().String()
+	lis.Close()
+
+	cmd := exec.Command(fillserved, "-addr", addr, "-drain", "10s")
+	var logs bytes.Buffer
+	cmd.Stdout = &logs
+	cmd.Stderr = &logs
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	waitUp := func() bool {
+		resp, err := http.Get(base + "/healthz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !waitUp() {
+		if time.Now().After(deadline) {
+			t.Fatalf("fillserved never came up; logs:\n%s", logs.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	post := func() *http.Response {
+		t.Helper()
+		resp, err := http.Post(base+"/fill?format=gds&oformat=gds&workers=2", "application/octet-stream", bytes.NewReader(payload))
+		if err != nil {
+			t.Fatalf("POST /fill: %v; logs:\n%s", err, logs.String())
+		}
+		return resp
+	}
+	resp := post()
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /fill: status %d, body %s", resp.StatusCode, body)
+	}
+	if !bytes.Equal(body, ref) {
+		t.Fatalf("served response (%d bytes) differs from offline fillgen -stream output (%d bytes)",
+			len(body), len(ref))
+	}
+
+	// Same payload again: the layout cache answers.
+	resp = post()
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Fill-Cache"); got != "hit" {
+		t.Fatalf("repeat submission: X-Fill-Cache = %q, want hit", got)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), `fillserved_jobs_total{status="ok"} 2`) {
+		t.Fatalf("/metrics missing job counts:\n%s", mbody)
+	}
+
+	// SIGTERM: the daemon must drain and exit zero.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("fillserved exit: %v; logs:\n%s", err, logs.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("fillserved did not exit after SIGTERM; logs:\n%s", logs.String())
+	}
+	if !strings.Contains(logs.String(), "drained cleanly") {
+		t.Fatalf("missing clean-drain log line; logs:\n%s", logs.String())
 	}
 }
 

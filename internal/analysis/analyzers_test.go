@@ -30,12 +30,28 @@ func TestCtxFlowFixtures(t *testing.T) {
 	// Shard-scheduler hazards: per-shard planning detached from the run
 	// context.
 	runFixture(t, CtxFlow, fixturePath("ctxflow", "shard.go"), "dummyfill/internal/fill")
+	// Serving-layer hazards: jobs detached from the request/drain
+	// contexts. internal/serve is in the analyzer's scope so its job
+	// paths keep the hard-abort contract.
+	runFixture(t, CtxFlow, fixturePath("ctxflow", "serve.go"), "dummyfill/internal/serve")
+}
+
+// TestCtxFlowServeScope pins internal/serve inside the ctxflow scope: a
+// regression that drops it from the package set silences the serving
+// fixtures without failing them.
+func TestCtxFlowServeScope(t *testing.T) {
+	if !CtxFlow.Packages("dummyfill/internal/serve") {
+		t.Fatal("ctxflow does not scope over dummyfill/internal/serve")
+	}
 }
 
 func TestPoolPairFixtures(t *testing.T) {
 	// poolpair is unscoped: pool discipline holds module-wide.
 	runFixture(t, PoolPair, fixturePath("poolpair", "bad.go"), "dummyfill/internal/geom")
 	runFixture(t, PoolPair, fixturePath("poolpair", "clean.go"), "dummyfill/internal/geom")
+	// Serving-layer pooled response buffers: leaked on reject paths,
+	// reused without Reset.
+	runFixture(t, PoolPair, fixturePath("poolpair", "serve.go"), "dummyfill/internal/serve")
 }
 
 func TestGeomCastFixtures(t *testing.T) {

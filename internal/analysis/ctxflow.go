@@ -19,6 +19,7 @@ var ctxPackages = pkgScope(
 	"internal/oasis",
 	"internal/textfmt",
 	"internal/exp",
+	"internal/serve",
 )
 
 // CtxFlow enforces the context-threading contract in engine/IO packages:

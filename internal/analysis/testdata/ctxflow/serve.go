@@ -1,0 +1,48 @@
+// Serving-layer context hazards: every job must run under the request's
+// context (with the drain hard-abort linked in) so a hung client or an
+// expired drain deadline can unwind it. Minting a fresh root inside the
+// job path detaches the engine run from both abort signals — the drain
+// would wait forever on a job nothing can cancel.
+package serve
+
+import "context"
+
+type job struct{ key uint64 }
+
+func runJob(ctx context.Context, j job) error { return ctx.Err() }
+
+// HandleJob is the exported handler entry; the job inherits its context.
+func HandleJob(ctx context.Context, j job) error {
+	return runJob(context.Background(), j) // want "already has a context parameter"
+}
+
+// dispatch is below the public API: it must take and thread a context,
+// not conjure a root that no drain or client cancellation can reach.
+func dispatch(j job) error {
+	return runJob(context.TODO(), j) // want "below the public API"
+}
+
+// handleDetached shows the goroutine variant: the literal is below the
+// public API even though the spawner is exported.
+func HandleAsync(ctx context.Context, j job) {
+	go func() {
+		_ = runJob(context.Background(), j) // want "below the public API"
+	}()
+}
+
+// handleThreaded is the clean counterpart: request context all the way
+// down, including into the spawned goroutine.
+func handleThreaded(ctx context.Context, j job) error {
+	jctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return runJob(jctx, j)
+}
+
+// NewServer is an exported constructor with no context parameter: the
+// one place a root context may be minted (the server's drain lifetime
+// outlives any single request).
+func NewServer() context.Context {
+	ctx, cancel := context.WithCancel(context.Background())
+	_ = cancel
+	return ctx
+}

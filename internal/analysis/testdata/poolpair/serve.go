@@ -1,0 +1,50 @@
+// Serving-layer pooled-buffer hazards: the per-job output buffer comes
+// from a sync.Pool and must go back on every exit path — a reject path
+// that returns between Get and Put leaks scratch under sustained load,
+// and reusing a buffer without Reset serves one job's bytes to another.
+package serve
+
+import (
+	"errors"
+	"sync"
+)
+
+type outBuf struct{ b []byte }
+
+func (o *outBuf) Reset() { o.b = o.b[:0] }
+
+var outPool = sync.Pool{New: func() any { return new(outBuf) }}
+
+func respondLeaky(fail bool) error {
+	buf := outPool.Get().(*outBuf)
+	buf.Reset()
+	if fail {
+		return errors.New("buffer leaked on the reject path") // want "return between"
+	}
+	outPool.Put(buf)
+	return nil
+}
+
+func respondLost() int {
+	buf := outPool.Get().(*outBuf) // want "without a matching"
+	buf.Reset()
+	return len(buf.b)
+}
+
+func respondStale() int {
+	buf := outPool.Get().(*outBuf) // want "never calls"
+	defer outPool.Put(buf)
+	return len(buf.b)
+}
+
+// respondClean is the contract the server follows: Get, Reset, deferred
+// Put covering every exit.
+func respondClean(fail bool) error {
+	buf := outPool.Get().(*outBuf)
+	defer outPool.Put(buf)
+	buf.Reset()
+	if fail {
+		return errors.New("still returned to the pool")
+	}
+	return nil
+}

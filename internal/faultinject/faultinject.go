@@ -40,6 +40,22 @@ const (
 	// SiteBudget simulates the run budget expiring at this window,
 	// exercising deadline degradation without wall-clock dependence.
 	SiteBudget
+	// SiteServeIngest fails the serving layer's layout ingest for a job,
+	// exercising the server's rejected-status path on a parse that would
+	// otherwise succeed. Keyed by the job's content hash.
+	SiteServeIngest
+	// SiteServePanic panics inside the serving layer's job runner — above
+	// the engine's own per-window isolation — exercising per-job recover
+	// and the aborted-status path. Keyed by the job's content hash.
+	SiteServePanic
+	// SiteServeEmit fails the serving layer's response emission mid-way,
+	// exercising downstream write-fault handling. Keyed by the job's
+	// content hash.
+	SiteServeEmit
+
+	// siteMax is the highest valid site; the hit-counter array covers
+	// [0, siteMax].
+	siteMax = SiteServeEmit
 )
 
 // String names the site for error messages and health reports.
@@ -57,6 +73,12 @@ func (s Site) String() string {
 		return "corrupt"
 	case SiteBudget:
 		return "budget"
+	case SiteServeIngest:
+		return "serve-ingest"
+	case SiteServePanic:
+		return "serve-panic"
+	case SiteServeEmit:
+		return "serve-emit"
 	default:
 		return fmt.Sprintf("site(%d)", uint64(s))
 	}
@@ -77,7 +99,7 @@ var ErrInjected = errors.New("faultinject: injected fault")
 type Injector struct {
 	seed  uint64
 	rates map[Site]uint32 // threshold in [0, 1<<16]
-	hits  [SiteBudget + 1]atomic.Int64
+	hits  [siteMax + 1]atomic.Int64
 }
 
 // New returns an injector with the given seed and no active sites.
@@ -122,7 +144,7 @@ func (in *Injector) Hit(site Site, key uint64) bool {
 	if uint32(h&0xffff) >= threshold {
 		return false
 	}
-	if site <= SiteBudget {
+	if site <= siteMax {
 		in.hits[site].Add(1)
 	}
 	return true
@@ -153,7 +175,7 @@ func (in *Injector) Fail(site Site, key uint64) error {
 
 // Hits returns how many times the fault at site has fired so far.
 func (in *Injector) Hits(site Site) int64 {
-	if in == nil || site > SiteBudget {
+	if in == nil || site > siteMax {
 		return 0
 	}
 	return in.hits[site].Load()

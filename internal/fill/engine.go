@@ -58,6 +58,9 @@ func New(lay *layout.Layout, opts Options) (*Engine, error) {
 	if opts.MaxSizingPasses < 1 {
 		return nil, fmt.Errorf("fill: MaxSizingPasses must be >= 1, got %d", opts.MaxSizingPasses)
 	}
+	if opts.Budget < 0 {
+		return nil, fmt.Errorf("fill: Budget must be >= 0 (0 = unlimited), got %v", opts.Budget)
+	}
 	g, err := lay.Grid()
 	if err != nil {
 		return nil, err

@@ -66,7 +66,9 @@ type Options struct {
 	// candidates unshrunk — still DRC-clean — and the run completes with
 	// Result.Health.BudgetExceeded set instead of failing. Contrast with
 	// cancelling the RunContext context, which aborts the run with no
-	// Result.
+	// Result. Negative values are rejected by New: a negative budget is
+	// always a caller bug (an elapsed deadline subtraction gone wrong),
+	// and silently treating it as unlimited would invert the intent.
 	Budget time.Duration
 	// Inject enables deterministic fault injection at the engine's solver
 	// and sizing sites — a test harness for the degradation paths. Nil

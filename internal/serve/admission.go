@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// errQueueFull is returned by acquire when the wait queue is at capacity:
+// the job is shed immediately (429) instead of queueing unboundedly.
+var errQueueFull = errors.New("serve: job queue full")
+
+// admission is the bounded job queue: at most `slots` jobs run
+// concurrently and at most `maxQueue` more may wait for a slot. Beyond
+// that, acquire fails fast — admission control is load shedding, not
+// buffering. Both depths are observable for the /metrics gauges, and an
+// EWMA of job duration feeds the Retry-After estimate.
+type admission struct {
+	running  chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+	inFlight atomic.Int64 // jobs holding a slot
+	// ewmaJobMicros tracks a decaying mean job duration (µs) for
+	// Retry-After estimation; 0 until the first job completes.
+	ewmaJobMicros atomic.Int64
+}
+
+func newAdmission(slots, maxQueue int) *admission {
+	return &admission{
+		running:  make(chan struct{}, slots),
+		maxQueue: int64(maxQueue),
+	}
+}
+
+// acquire claims a run slot, waiting in the bounded queue if all slots
+// are busy. It fails with errQueueFull when the queue is at capacity and
+// with ctx.Err() when the caller's context ends first. On success the
+// caller must release() exactly once.
+func (a *admission) acquire(ctx context.Context) (wait time.Duration, err error) {
+	if a.queued.Add(1) > a.maxQueue {
+		a.queued.Add(-1)
+		return 0, errQueueFull
+	}
+	start := time.Now()
+	select {
+	case a.running <- struct{}{}:
+		a.queued.Add(-1)
+		a.inFlight.Add(1)
+		return time.Since(start), nil
+	case <-ctx.Done():
+		a.queued.Add(-1)
+		return time.Since(start), ctx.Err()
+	}
+}
+
+// release returns a run slot and folds the job's duration into the EWMA.
+func (a *admission) release(jobDur time.Duration) {
+	a.inFlight.Add(-1)
+	<-a.running
+	micros := jobDur.Microseconds()
+	for {
+		old := a.ewmaJobMicros.Load()
+		next := micros
+		if old > 0 {
+			next = (old*7 + micros) / 8
+		}
+		if a.ewmaJobMicros.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfter estimates how long a shed client should back off: the mean
+// job duration times the number of jobs ahead of it per slot, floored at
+// one second. With no completed jobs yet it answers 1s.
+func (a *admission) retryAfter() time.Duration {
+	mean := time.Duration(a.ewmaJobMicros.Load()) * time.Microsecond
+	if mean <= 0 {
+		return time.Second
+	}
+	ahead := a.queued.Load() + a.inFlight.Load()
+	slots := int64(cap(a.running))
+	est := mean * time.Duration(ahead+slots) / time.Duration(slots)
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 5*time.Minute {
+		est = 5 * time.Minute
+	}
+	return est
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"dummyfill/internal/layout"
+)
+
+// layoutCache memoizes ingested layouts by content hash so repeat
+// submissions of the same payload skip the parse entirely. Concurrent
+// requests for the same key are single-flighted: the first caller parses
+// while the rest block on its result, so a burst of identical submissions
+// costs one parse, not N. Entries are evicted LRU; failed parses are
+// never cached (the next submission retries).
+//
+// Cached layouts are shared across concurrent jobs — safe because the
+// engine treats its input layout as read-only (all mutable state lives in
+// per-run window structures).
+type layoutCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*cacheEntry
+	lru     *list.List // front = most recent; values are keys
+}
+
+type cacheEntry struct {
+	ready chan struct{} // closed when lay/err are set
+	lay   *layout.Layout
+	err   error
+	elem  *list.Element
+}
+
+// newLayoutCache returns a cache holding up to capacity layouts; a
+// capacity ≤ 0 disables caching (get always parses).
+func newLayoutCache(capacity int) *layoutCache {
+	return &layoutCache{cap: capacity, entries: map[string]*cacheEntry{}, lru: list.New()}
+}
+
+// get returns the layout for key, parsing it with parse on a miss. Only
+// one caller per key runs parse at a time; its outcome is broadcast to
+// every waiter. hit reports whether the layout came from cache (false
+// for the caller that parsed and for all single-flight waiters on it).
+func (c *layoutCache) get(key string, parse func() (*layout.Layout, error)) (lay *layout.Layout, hit bool, err error) {
+	if c.cap <= 0 {
+		lay, err = parse()
+		return lay, false, err
+	}
+	c.mu.Lock()
+	if e, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(e.elem)
+		c.mu.Unlock()
+		<-e.ready
+		if e.err != nil {
+			// The flight we joined failed; retry our own parse without
+			// caching (the entry was already removed by the leader).
+			lay, err = parse()
+			return lay, false, err
+		}
+		return e.lay, true, nil
+	}
+	e := &cacheEntry{ready: make(chan struct{})}
+	e.elem = c.lru.PushFront(key)
+	c.entries[key] = e
+	c.mu.Unlock()
+
+	e.lay, e.err = parse()
+	c.mu.Lock()
+	if e.err != nil {
+		delete(c.entries, key)
+		c.lru.Remove(e.elem)
+	} else {
+		for c.lru.Len() > c.cap {
+			oldest := c.lru.Back()
+			c.lru.Remove(oldest)
+			delete(c.entries, oldest.Value.(string))
+		}
+	}
+	c.mu.Unlock()
+	close(e.ready)
+	return e.lay, false, e.err
+}
+
+// len reports the number of cached (or in-flight) entries.
+func (c *layoutCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

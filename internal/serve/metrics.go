@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// metrics is a minimal Prometheus-style registry: named counters with one
+// optional label dimension, gauges read through callbacks at scrape time,
+// and fixed-bucket histograms. Everything is lock-free on the hot path
+// (atomic adds); the scrape path takes a registry snapshot under a mutex.
+// It exists so the server can export Health- and queue-derived telemetry
+// without pulling a client library into the module.
+type metrics struct {
+	mu     sync.Mutex
+	counts map[string]*atomic.Int64 // "name{label}" → count
+	gauges map[string]func() float64
+	hists  map[string]*histogram
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		counts: map[string]*atomic.Int64{},
+		gauges: map[string]func() float64{},
+		hists:  map[string]*histogram{},
+	}
+}
+
+// counter returns (creating on first use) the counter for name with an
+// optional {k="v"} label pair rendered into the series key.
+func (m *metrics) counter(name, labels string) *atomic.Int64 {
+	key := name
+	if labels != "" {
+		key = name + "{" + labels + "}"
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counts[key]
+	if !ok {
+		c = new(atomic.Int64)
+		m.counts[key] = c
+	}
+	return c
+}
+
+// add increments a labelled counter by delta.
+func (m *metrics) add(name, labels string, delta int64) {
+	m.counter(name, labels).Add(delta)
+}
+
+// gauge registers a callback sampled at scrape time.
+func (m *metrics) gauge(name string, fn func() float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gauges[name] = fn
+}
+
+// histogram is a fixed-bucket cumulative histogram in the Prometheus
+// exposition shape (le-labelled buckets plus _sum and _count).
+type histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // one per bound, plus +Inf at the end
+	sum    atomic.Int64   // micro-units to stay integral
+	n      atomic.Int64
+}
+
+// defaultSecondsBuckets covers queue waits and job runtimes from 1 ms to
+// ~2 minutes.
+var defaultSecondsBuckets = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 1, 2.5, 5, 10, 30, 60, 120}
+
+func (m *metrics) hist(name string, bounds []float64) *histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.hists[name]
+	if !ok {
+		h = &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+		m.hists[name] = h
+	}
+	return h
+}
+
+// observe records one sample.
+func (h *histogram) observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(int64(v * 1e6))
+	h.n.Add(1)
+}
+
+// write renders the registry in the Prometheus text exposition format.
+// Series are emitted in sorted key order so scrapes are diffable.
+func (m *metrics) write(w io.Writer) {
+	m.mu.Lock()
+	countKeys := make([]string, 0, len(m.counts))
+	for k := range m.counts {
+		countKeys = append(countKeys, k)
+	}
+	gaugeKeys := make([]string, 0, len(m.gauges))
+	for k := range m.gauges {
+		gaugeKeys = append(gaugeKeys, k)
+	}
+	histKeys := make([]string, 0, len(m.hists))
+	for k := range m.hists {
+		histKeys = append(histKeys, k)
+	}
+	m.mu.Unlock()
+	sort.Strings(countKeys)
+	sort.Strings(gaugeKeys)
+	sort.Strings(histKeys)
+
+	for _, k := range countKeys {
+		fmt.Fprintf(w, "%s %d\n", k, m.counts[k].Load())
+	}
+	for _, k := range gaugeKeys {
+		fmt.Fprintf(w, "%s %g\n", k, m.gauges[k]())
+	}
+	for _, k := range histKeys {
+		h := m.hists[k]
+		var cum int64
+		for i, b := range h.bounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", k, trimFloat(b), cum)
+		}
+		cum += h.counts[len(h.bounds)].Load()
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", k, cum)
+		fmt.Fprintf(w, "%s_sum %g\n", k, float64(h.sum.Load())/1e6)
+		fmt.Fprintf(w, "%s_count %d\n", k, h.n.Load())
+	}
+}
+
+// trimFloat renders a bucket bound without trailing zeros ("0.5", "10").
+func trimFloat(v float64) string {
+	if v == math.Trunc(v) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
