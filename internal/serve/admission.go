@@ -38,6 +38,16 @@ func newAdmission(slots, maxQueue int) *admission {
 // with ctx.Err() when the caller's context ends first. On success the
 // caller must release() exactly once.
 func (a *admission) acquire(ctx context.Context) (wait time.Duration, err error) {
+	// Fast path: take a free run slot without touching the queue bound,
+	// so a simultaneous burst larger than maxQueue is never shed while
+	// workers sit idle. Only acquirers that actually have to wait count
+	// against the queue.
+	select {
+	case a.running <- struct{}{}:
+		a.inFlight.Add(1)
+		return 0, nil
+	default:
+	}
 	if a.queued.Add(1) > a.maxQueue {
 		a.queued.Add(-1)
 		return 0, errQueueFull

@@ -67,8 +67,13 @@ func (c *layoutCache) get(key string, parse func() (*layout.Layout, error)) (lay
 	e.lay, e.err = parse()
 	c.mu.Lock()
 	if e.err != nil {
-		delete(c.entries, key)
-		c.lru.Remove(e.elem)
+		// Drop our entry only if it is still the one in the map: it may
+		// have been LRU-evicted mid-parse and replaced by a fresh flight
+		// for the same key, which must not be torn down.
+		if cur, ok := c.entries[key]; ok && cur == e {
+			delete(c.entries, key)
+			c.lru.Remove(e.elem)
+		}
 	} else {
 		for c.lru.Len() > c.cap {
 			oldest := c.lru.Back()

@@ -92,19 +92,28 @@ func (h *histogram) observe(v float64) {
 }
 
 // write renders the registry in the Prometheus text exposition format.
-// Series are emitted in sorted key order so scrapes are diffable.
+// Series are emitted in sorted key order so scrapes are diffable. The
+// maps are snapshotted (keys and pointer/callback values) under the
+// mutex so a scrape never reads them concurrently with a first-use
+// series insert in counter()/hist().
 func (m *metrics) write(w io.Writer) {
 	m.mu.Lock()
+	counts := make(map[string]*atomic.Int64, len(m.counts))
 	countKeys := make([]string, 0, len(m.counts))
-	for k := range m.counts {
+	for k, v := range m.counts {
+		counts[k] = v
 		countKeys = append(countKeys, k)
 	}
+	gauges := make(map[string]func() float64, len(m.gauges))
 	gaugeKeys := make([]string, 0, len(m.gauges))
-	for k := range m.gauges {
+	for k, v := range m.gauges {
+		gauges[k] = v
 		gaugeKeys = append(gaugeKeys, k)
 	}
+	hists := make(map[string]*histogram, len(m.hists))
 	histKeys := make([]string, 0, len(m.hists))
-	for k := range m.hists {
+	for k, v := range m.hists {
+		hists[k] = v
 		histKeys = append(histKeys, k)
 	}
 	m.mu.Unlock()
@@ -113,13 +122,13 @@ func (m *metrics) write(w io.Writer) {
 	sort.Strings(histKeys)
 
 	for _, k := range countKeys {
-		fmt.Fprintf(w, "%s %d\n", k, m.counts[k].Load())
+		fmt.Fprintf(w, "%s %d\n", k, counts[k].Load())
 	}
 	for _, k := range gaugeKeys {
-		fmt.Fprintf(w, "%s %g\n", k, m.gauges[k]())
+		fmt.Fprintf(w, "%s %g\n", k, gauges[k]())
 	}
 	for _, k := range histKeys {
-		h := m.hists[k]
+		h := hists[k]
 		var cum int64
 		for i, b := range h.bounds {
 			cum += h.counts[i].Load()

@@ -449,6 +449,8 @@ func (s *Server) handleFill(w http.ResponseWriter, r *http.Request) {
 			s.noteAborted("client", arrival)
 		case s.hardCtx.Err() != nil:
 			s.noteAborted("drain", arrival)
+			s.writeJSON(w, http.StatusServiceUnavailable, errorReply{Status: StatusAborted, Error: "job aborted: drain deadline exceeded"})
+			return
 		case jctx.Err() != nil:
 			s.noteAborted("deadline", arrival)
 			s.reject(w, http.StatusServiceUnavailable, "deadline", "hard deadline exceeded", int(s.adm.retryAfter().Seconds()))

@@ -10,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -344,6 +345,31 @@ func TestAdmissionQueueBoundsAndRetryAfter(t *testing.T) {
 	}
 }
 
+func TestAdmissionFastPathBypassesQueueBound(t *testing.T) {
+	// With free slots, acquire must succeed without counting against the
+	// queue bound: a burst larger than maxQueue is never shed while
+	// workers sit idle. The zero-depth queue makes that deterministic —
+	// any acquire that touches the queue bound fails immediately.
+	a := newAdmission(2, 0)
+	for i := 0; i < 2; i++ {
+		if _, err := a.acquire(context.Background()); err != nil {
+			t.Fatalf("acquire %d with free slots: %v", i, err)
+		}
+		if q := a.queued.Load(); q != 0 {
+			t.Fatalf("fast-path acquire counted against queue: queued=%d", q)
+		}
+	}
+	// Slots exhausted: now the queue bound applies.
+	if _, err := a.acquire(context.Background()); !errors.Is(err, errQueueFull) {
+		t.Fatalf("over-capacity acquire: err = %v, want errQueueFull", err)
+	}
+	a.release(time.Millisecond)
+	a.release(time.Millisecond)
+	if q, f := a.queued.Load(), a.inFlight.Load(); q != 0 || f != 0 {
+		t.Fatalf("counters not restored: queued=%d inFlight=%d", q, f)
+	}
+}
+
 func TestLayoutCacheSingleFlight(t *testing.T) {
 	c := newLayoutCache(4)
 	var parses int32
@@ -411,6 +437,71 @@ func TestLayoutCacheSingleFlight(t *testing.T) {
 	if n := c.len(); n != 4 {
 		t.Fatalf("cache len = %d, want cap 4", n)
 	}
+}
+
+func TestLayoutCacheFailedLeaderEvictedMidParse(t *testing.T) {
+	// A parse leader whose in-flight entry is LRU-evicted (and replaced by
+	// a fresh flight for the same key) must not tear down the replacement
+	// when it fails.
+	c := newLayoutCache(1)
+	block := make(chan struct{})
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := c.get("k", func() (*layout.Layout, error) {
+			<-block
+			return nil, fmt.Errorf("boom")
+		})
+		done <- err
+	}()
+	waitFor(t, func() bool { return c.len() == 1 })
+	// Completing another key evicts "k"'s in-flight entry (cap 1) …
+	if _, _, err := c.get("other", func() (*layout.Layout, error) { return &layout.Layout{Name: "o"}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// … and a new flight for "k" caches a replacement.
+	if _, _, err := c.get("k", func() (*layout.Layout, error) { return &layout.Layout{Name: "k2"}, nil }); err != nil {
+		t.Fatal(err)
+	}
+	close(block)
+	if err := <-done; err == nil {
+		t.Fatal("evicted leader: err = nil, want parse failure")
+	}
+	lay, hit, err := c.get("k", func() (*layout.Layout, error) {
+		return nil, fmt.Errorf("replacement entry was torn down")
+	})
+	if err != nil || !hit || lay == nil || lay.Name != "k2" {
+		t.Fatalf("get after failed leader: lay=%v hit=%v err=%v, want cached replacement", lay, hit, err)
+	}
+	if n := c.len(); n != 1 {
+		t.Fatalf("cache len = %d, want 1", n)
+	}
+}
+
+func TestMetricsConcurrentScrapeAndInsert(t *testing.T) {
+	// Scrapes must never read the series maps concurrently with a
+	// first-use insert in counter()/hist() — the race detector is the
+	// assertion.
+	const inserts = 2000
+	m := newMetrics()
+	var done atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Fresh series keys every iteration so map inserts keep happening
+		// for the whole scrape loop, not just a warm-up burst.
+		for i := 0; i < inserts; i++ {
+			m.add("churn_total", fmt.Sprintf(`i="%d"`, i), 1)
+			m.hist(fmt.Sprintf("churn_%d_seconds", i), defaultSecondsBuckets).observe(0.01)
+			done.Add(1)
+		}
+	}()
+	// Scrape until the inserter has finished, so scrapes provably overlap
+	// the whole insert stream.
+	for done.Load() < inserts {
+		m.write(io.Discard)
+	}
+	wg.Wait()
 }
 
 func TestMetricsExposition(t *testing.T) {
