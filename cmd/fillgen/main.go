@@ -42,6 +42,8 @@ func main() {
 	shards := flag.Int("shards", 0, "row-band shards for hierarchical planning and emission (0 = one per core); output is identical for every value")
 	deadline := flag.Duration("deadline", 0, "soft time budget: past it, remaining windows emit unshrunk candidates instead of failing (0 = unlimited)")
 	stream := flag.Bool("stream", false, "stream fills to the output as windows complete (method ours only; bounded memory, no score report)")
+	cacheDir := flag.String("cache", "", "persistent fill-cache directory for incremental re-fill (created if missing; method ours only)")
+	diff := flag.String("diff", "", "old layout file: report per-window cache invalidation vs the current input instead of running the flow")
 	var prof exp.Profiling
 	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -92,6 +94,21 @@ func main() {
 	opts.Workers = *workers
 	opts.Shards = *shards
 	opts.Budget = *deadline
+	var cache *dummyfill.FillCache
+	if *cacheDir != "" {
+		cache, err = dummyfill.OpenFillCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Cache = cache
+	}
+
+	if *diff != "" {
+		if err := runDiff(ctx, *diff, *format, *window, lay, opts); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *stream {
 		if *method != "ours" {
@@ -134,6 +151,7 @@ func main() {
 		}
 		fmt.Printf("design %s, method ours (streamed): %d fills\n", *design, nFills)
 		fmt.Printf("health: %s\n", res.Health)
+		printCacheStats(cache)
 		fmt.Printf("wrote %s (%d bytes)\n", path, info.Size())
 		return
 	}
@@ -161,6 +179,7 @@ func main() {
 	if health != nil {
 		fmt.Printf("health: %s\n", health)
 	}
+	printCacheStats(cache)
 	fmt.Println(rep)
 
 	path := *out
@@ -208,6 +227,17 @@ func outExt(format string) string {
 	default:
 		return "gds"
 	}
+}
+
+// printCacheStats reports the fill cache's counters for the run; the CI
+// warm-cache smoke greps the hits figure.
+func printCacheStats(c *dummyfill.FillCache) {
+	if c == nil {
+		return
+	}
+	st := c.Stats()
+	fmt.Printf("cache: hits=%d misses=%d corrupt=%d puts=%d put-errors=%d (%s)\n",
+		st.Hits, st.Misses, st.Corrupt, st.Puts, st.PutErrors, c.Dir())
 }
 
 func fatal(err error) {

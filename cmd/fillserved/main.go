@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"dummyfill/cmd/internal/ingestfmt"
+	"dummyfill/internal/fillcache"
 	"dummyfill/internal/serve"
 
 	_ "dummyfill/internal/gdsii"
@@ -42,6 +43,7 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "how long SIGTERM waits for in-flight jobs before hard-aborting them")
 	maxBody := flag.Int64("max-body", 256<<20, "max ingest payload bytes")
 	cacheEntries := flag.Int("cache", 64, "layout cache capacity in entries (negative disables)")
+	fillCacheDir := flag.String("fill-cache", "", "persistent per-window fill cache directory (created if missing); resubmitted edited layouts replay their unchanged windows")
 	flag.Parse()
 
 	// A non-positive deadline is always a misconfiguration at the serving
@@ -53,6 +55,15 @@ func main() {
 		fatal(fmt.Errorf("-max-deadline must be positive, got %v", *maxDeadline))
 	}
 
+	var fillCache *fillcache.Cache
+	if *fillCacheDir != "" {
+		var err error
+		fillCache, err = fillcache.Open(*fillCacheDir)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	s := serve.New(serve.Config{
 		Workers:         *workers,
 		QueueDepth:      *queue,
@@ -61,6 +72,7 @@ func main() {
 		MaxBodyBytes:    *maxBody,
 		CacheEntries:    *cacheEntries,
 		Rules:           ingestfmt.DefaultRules,
+		FillCache:       fillCache,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

@@ -41,6 +41,7 @@ func main() {
 	deadline := flag.Duration("deadline", 0, "soft per-run time budget for the fill engine: past it, remaining windows emit unshrunk candidates instead of failing (0 = unlimited)")
 	workers := flag.Int("workers", 0, "window-level parallelism for the fill engine (0 = all cores)")
 	shards := flag.Int("shards", 0, "row-band shards for hierarchical planning and emission (0 = one per core); output is identical for every value")
+	cacheDir := flag.String("cache", "", "persistent fill-cache directory for incremental re-fill (created if missing); repeated runs replay unchanged windows")
 	var prof exp.Profiling
 	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -74,6 +75,13 @@ func main() {
 	opts.Budget = *deadline
 	opts.Workers = *workers
 	opts.Shards = *shards
+	if *cacheDir != "" {
+		cache, err := dummyfill.OpenFillCache(*cacheDir)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Cache = cache
+	}
 	out := os.Stdout
 	text := format == exp.Text
 

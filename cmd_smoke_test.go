@@ -216,6 +216,51 @@ func TestFillservedSmoke(t *testing.T) {
 	}
 }
 
+// TestFillgenCacheCommand drives the incremental re-fill surface the
+// way an ECO loop would: a cold cached run, a warm run that must replay
+// every window and emit identical bytes, and a -diff self-compare that
+// must report zero invalidated windows.
+func TestFillgenCacheCommand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	layoutgen := buildTool(t, "layoutgen")
+	fillgen := buildTool(t, "fillgen")
+
+	gds := filepath.Join(dir, "tiny.gds")
+	run(t, layoutgen, "-design", "tiny", "-o", gds)
+	cacheDir := filepath.Join(dir, "cache")
+
+	coldGds := filepath.Join(dir, "cold.gds")
+	out := run(t, fillgen, "-in", gds, "-stream", "-cache", cacheDir, "-o", coldGds)
+	if !strings.Contains(out, "cache: hits=0") {
+		t.Fatalf("cold run should start from an empty cache: %s", out)
+	}
+
+	warmGds := filepath.Join(dir, "warm.gds")
+	out = run(t, fillgen, "-in", gds, "-stream", "-cache", cacheDir, "-o", warmGds)
+	if !strings.Contains(out, "misses=0") || strings.Contains(out, "cache: hits=0") {
+		t.Fatalf("warm run should replay every window: %s", out)
+	}
+	cold, err := os.ReadFile(coldGds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := os.ReadFile(warmGds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("warm cached output (%d bytes) differs from cold (%d bytes)", len(warm), len(cold))
+	}
+
+	out = run(t, fillgen, "-in", gds, "-diff", gds)
+	if !strings.Contains(out, "0 invalidated") {
+		t.Fatalf("-diff against the same layout should invalidate nothing: %s", out)
+	}
+}
+
 // TestReproFig6Command checks the repro tool's figure path.
 func TestReproFig6Command(t *testing.T) {
 	if testing.Short() {

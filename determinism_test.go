@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	dummyfill "dummyfill"
+	"dummyfill/internal/synth"
 )
 
 // TestInsertByteIdenticalGDS runs the full flow twice on the same layout
@@ -233,5 +234,70 @@ func TestInsertStreamGDSDeterministic(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("fill %d differs: %+v vs %+v", i, a[i], b[i])
 		}
+	}
+}
+
+// TestGoldenGDSHashesCached adds the fill-cache row to the determinism
+// matrix: a cold cache-populating run, warm replaying runs across
+// worker/shard topologies, and a partially-invalidated run on an
+// ECO-perturbed layout must all reproduce the exact byte stream the
+// uncached flow produces — the cache may change wall-clock, never
+// geometry.
+func TestGoldenGDSHashesCached(t *testing.T) {
+	hashWith := func(t *testing.T, lay *dummyfill.Layout, cache *dummyfill.FillCache, workers, shards int) string {
+		t.Helper()
+		opts := dummyfill.DefaultOptions()
+		opts.Workers = workers
+		opts.Shards = shards
+		opts.Cache = cache
+		res, err := dummyfill.Insert(lay, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := dummyfill.WriteGDS(&buf, lay, &res.Solution); err != nil {
+			t.Fatal(err)
+		}
+		sum := sha256.Sum256(buf.Bytes())
+		return hex.EncodeToString(sum[:])
+	}
+	for _, design := range []string{"tiny", "s"} {
+		design := design
+		t.Run(design, func(t *testing.T) {
+			if testing.Short() && design == "s" {
+				t.Skip("larger design skipped under -short")
+			}
+			cache, err := dummyfill.OpenFillCache(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			lay, _, err := dummyfill.GenerateBenchmark(design)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := hashWith(t, lay, cache, 1, 1); got != goldenGDS[design] {
+				t.Fatalf("cold cached run: GDS hash %s, want %s", got, goldenGDS[design])
+			}
+			for _, topo := range [][2]int{{1, 1}, {4, 2}, {2, 4}} {
+				if got := hashWith(t, lay, cache, topo[0], topo[1]); got != goldenGDS[design] {
+					t.Fatalf("warm workers=%d shards=%d: GDS hash %s, want %s",
+						topo[0], topo[1], got, goldenGDS[design])
+				}
+			}
+
+			// Partial invalidation: a perturbed layout served mostly from
+			// the cache must byte-match the same layout computed uncached.
+			eco, moved, err := synth.PerturbECO(lay, 0.05, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if moved == 0 {
+				t.Fatal("perturbation moved no wires; partial-invalidation case is vacuous")
+			}
+			want := hashWith(t, eco, nil, 4, 2)
+			if got := hashWith(t, eco, cache, 4, 2); got != want {
+				t.Fatalf("partially-invalidated run: GDS hash %s, want uncached %s", got, want)
+			}
+		})
 	}
 }

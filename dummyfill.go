@@ -30,6 +30,7 @@ import (
 	"dummyfill/internal/baseline"
 	"dummyfill/internal/drc"
 	"dummyfill/internal/fill"
+	"dummyfill/internal/fillcache"
 	"dummyfill/internal/gdsii"
 	"dummyfill/internal/geom"
 	"dummyfill/internal/layio"
@@ -75,6 +76,14 @@ type (
 	FillSink = fill.Sink
 	// FillSinkFunc adapts a function to a FillSink.
 	FillSinkFunc = fill.SinkFunc
+	// FillCache is a persistent content-addressed cache of per-window
+	// fill results, enabling incremental (ECO) re-fill: assign one to
+	// Options.Cache and unchanged windows replay their previous fills
+	// byte-identically instead of being re-solved. See OpenFillCache.
+	FillCache = fillcache.Cache
+	// FillCacheStats is a point-in-time snapshot of a FillCache's
+	// hit/miss/corruption counters.
+	FillCacheStats = fillcache.Stats
 )
 
 // R constructs a rectangle, normalizing swapped bounds.
@@ -83,6 +92,15 @@ func R(xl, yl, xh, yh int64) Rect { return geom.R(xl, yl, xh, yh) }
 // DefaultOptions returns the engine parameters used in the paper's
 // experiments where stated (γ = 1, η = 1).
 func DefaultOptions() Options { return fill.DefaultOptions() }
+
+// OpenFillCache opens (creating it if needed) a persistent fill cache
+// rooted at dir. Assign the result to Options.Cache: windows whose
+// content, rules and plan targets match a cached entry skip candidate
+// generation and sizing and replay their stored fills byte-identically;
+// everything else is recomputed and written back. The cache is safe for
+// concurrent use and survives corruption (damaged entries are detected
+// and recomputed). See DESIGN.md §13.
+func OpenFillCache(dir string) (*FillCache, error) { return fillcache.Open(dir) }
 
 // Insert runs the full fill insertion flow on a layout.
 func Insert(lay *Layout, opts Options) (*Result, error) {

@@ -12,6 +12,9 @@ func TestNoDetermFixtures(t *testing.T) {
 	// Shard-scheduler hazards: map-range over shard state, clock-driven
 	// shard decisions.
 	runFixture(t, NoDeterm, fixturePath("nodeterm", "shard.go"), "dummyfill/internal/fill")
+	// Cache-key hazards: timestamped keys never hit, map-order hashing
+	// makes identical content key differently across runs.
+	runFixture(t, NoDeterm, fixturePath("nodeterm", "fillcache.go"), "dummyfill/internal/fillcache")
 }
 
 // TestNoDetermScope checks that the same hazards outside the
@@ -34,6 +37,8 @@ func TestCtxFlowFixtures(t *testing.T) {
 	// contexts. internal/serve is in the analyzer's scope so its job
 	// paths keep the hard-abort contract.
 	runFixture(t, CtxFlow, fixturePath("ctxflow", "serve.go"), "dummyfill/internal/serve")
+	// Cache-tier hazards: lookups detached from the engine's run context.
+	runFixture(t, CtxFlow, fixturePath("ctxflow", "fillcache.go"), "dummyfill/internal/fillcache")
 }
 
 // TestCtxFlowServeScope pins internal/serve inside the ctxflow scope: a
@@ -45,6 +50,18 @@ func TestCtxFlowServeScope(t *testing.T) {
 	}
 }
 
+// TestFillcacheScope pins internal/fillcache inside both the nodeterm
+// and ctxflow scopes: cache keys feed the golden-hash determinism
+// contract, and cache loads run under the engine's cancellable pipeline.
+func TestFillcacheScope(t *testing.T) {
+	if !NoDeterm.Packages("dummyfill/internal/fillcache") {
+		t.Fatal("nodeterm does not scope over dummyfill/internal/fillcache")
+	}
+	if !CtxFlow.Packages("dummyfill/internal/fillcache") {
+		t.Fatal("ctxflow does not scope over dummyfill/internal/fillcache")
+	}
+}
+
 func TestPoolPairFixtures(t *testing.T) {
 	// poolpair is unscoped: pool discipline holds module-wide.
 	runFixture(t, PoolPair, fixturePath("poolpair", "bad.go"), "dummyfill/internal/geom")
@@ -52,6 +69,8 @@ func TestPoolPairFixtures(t *testing.T) {
 	// Serving-layer pooled response buffers: leaked on reject paths,
 	// reused without Reset.
 	runFixture(t, PoolPair, fixturePath("poolpair", "serve.go"), "dummyfill/internal/serve")
+	// Cache hasher-scratch pools: leaked Gets and early-return leaks.
+	runFixture(t, PoolPair, fixturePath("poolpair", "fillcache.go"), "dummyfill/internal/fillcache")
 }
 
 func TestGeomCastFixtures(t *testing.T) {

@@ -10,6 +10,7 @@ import (
 // subtree from cancellation and deadline propagation.
 var ctxPackages = pkgScope(
 	"internal/fill",
+	"internal/fillcache",
 	"internal/mcf",
 	"internal/dlp",
 	"internal/density",

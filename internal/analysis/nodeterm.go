@@ -12,6 +12,7 @@ import (
 // clocks, randomness and map iteration order must not influence output.
 var detPackages = pkgScope(
 	"internal/fill",
+	"internal/fillcache",
 	"internal/mcf",
 	"internal/dlp",
 	"internal/lps",

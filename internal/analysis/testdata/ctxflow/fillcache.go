@@ -1,0 +1,28 @@
+// Seeded fillcache ctxflow violations: cache lookups run inside the
+// engine's cancellable pipeline, so helpers below the public API must
+// not detach themselves from it by minting fresh root contexts.
+package fillcache
+
+import "context"
+
+func fetch(ctx context.Context, key [32]byte) error { return ctx.Err() }
+
+// Load is an exported entrance adapter — a root context is legitimate.
+func Load(key [32]byte) error {
+	return fetch(context.Background(), key)
+}
+
+func loadLocked(key [32]byte) error {
+	return fetch(context.Background(), key) // want "below the public API"
+}
+
+// LoadAll already has a context; minting a fresh root would detach the
+// per-entry fetches from the run's cancellation.
+func LoadAll(ctx context.Context, keys [][32]byte) error {
+	for _, k := range keys {
+		if err := fetch(context.Background(), k); err != nil { // want "already has a context parameter"
+			return err
+		}
+	}
+	return nil
+}

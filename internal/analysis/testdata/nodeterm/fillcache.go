@@ -1,0 +1,35 @@
+// Seeded fillcache nodeterm violations: a cache key must be a pure
+// function of window content — a wall-clock timestamp makes every key
+// unique (cache never hits), and hashing a map in range order makes the
+// same content produce different keys across runs (silent misses).
+package fillcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"time"
+)
+
+func timestampedKey(content []byte) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write(content)
+	var ts [8]byte
+	binary.LittleEndian.PutUint64(ts[:], uint64(time.Now().UnixNano())) // want "wall-clock read time.Now"
+	h.Write(ts[:])
+	var k [sha256.Size]byte
+	h.Sum(k[:0])
+	return k
+}
+
+func mapOrderKey(layers map[int][]byte) [sha256.Size]byte {
+	h := sha256.New()
+	for li, content := range layers { // want "range over a map"
+		var lb [8]byte
+		binary.LittleEndian.PutUint64(lb[:], uint64(li))
+		h.Write(lb[:])
+		h.Write(content)
+	}
+	var k [sha256.Size]byte
+	h.Sum(k[:0])
+	return k
+}

@@ -1,0 +1,33 @@
+// Seeded fillcache poolpair violations: the per-worker hasher scratch is
+// pooled; a lookup that forgets to return it (or bails out early) bleeds
+// scratch allocations across the whole cache stage.
+package fillcache
+
+import (
+	"errors"
+	"sync"
+)
+
+type hasherScratch struct{ buf [64]byte }
+
+var hasherPool = sync.Pool{New: func() any { return new(hasherScratch) }}
+
+func leakedLookup(content []byte) int {
+	hs := hasherPool.Get().(*hasherScratch) // want "without a matching"
+	return copy(hs.buf[:], content)
+}
+
+func earlyBail(content []byte) error {
+	hs := hasherPool.Get().(*hasherScratch)
+	if len(content) > len(hs.buf) {
+		return errors.New("scratch leaked on this path") // want "return between"
+	}
+	hasherPool.Put(hs)
+	return nil
+}
+
+func pairedLookup(content []byte) int {
+	hs := hasherPool.Get().(*hasherScratch)
+	defer hasherPool.Put(hs)
+	return copy(hs.buf[:], content)
+}

@@ -52,10 +52,16 @@ const (
 	// exercising downstream write-fault handling. Keyed by the job's
 	// content hash.
 	SiteServeEmit
+	// SiteCacheLoad simulates a torn or corrupt fill-cache entry read:
+	// the entry that was loaded is discarded as if its integrity check
+	// had failed, forcing a clean recompute of the window. Keyed by the
+	// window index. It exercises the cache's failure contract — a bad
+	// entry may cost time, never correctness.
+	SiteCacheLoad
 
 	// siteMax is the highest valid site; the hit-counter array covers
 	// [0, siteMax].
-	siteMax = SiteServeEmit
+	siteMax = SiteCacheLoad
 )
 
 // String names the site for error messages and health reports.
@@ -79,6 +85,8 @@ func (s Site) String() string {
 		return "serve-panic"
 	case SiteServeEmit:
 		return "serve-emit"
+	case SiteCacheLoad:
+		return "cache-load"
 	default:
 		return fmt.Sprintf("site(%d)", uint64(s))
 	}
@@ -171,6 +179,24 @@ func (in *Injector) Fail(site Site, key uint64) error {
 		return nil
 	}
 	return fmt.Errorf("%w: %s at key %d", ErrInjected, site, key)
+}
+
+// ActiveAny reports whether any of the given sites has a non-zero rate.
+// The fill cache uses it to disable itself while engine-level faults are
+// being injected: those faults are keyed by window index, not window
+// content, so replaying a cached (healthy) result would silently change
+// the deterministic fault pattern a test asked for. Like WithRate it must
+// not race with rate mutation, which the engine never does mid-run.
+func (in *Injector) ActiveAny(sites ...Site) bool {
+	if in == nil {
+		return false
+	}
+	for _, s := range sites {
+		if in.rates[s] > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // Hits returns how many times the fault at site has fired so far.

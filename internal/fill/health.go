@@ -55,6 +55,22 @@ type Health struct {
 	// shard covers the grid — the distributed-planning readiness signal:
 	// how wrong would fully local planning have been.
 	PlanDivergence float64 `json:"plan_divergence,omitempty"`
+	// CacheHits counts windows replayed verbatim from Options.Cache
+	// (content and both plan rounds matched a stored entry). Zero when
+	// the cache is nil or bypassed.
+	CacheHits int `json:"cache_hits,omitempty"`
+	// CacheMisses counts windows with no usable cache entry (absent,
+	// corrupt, or solved under different round-1 targets); they computed
+	// from scratch and were written back.
+	CacheMisses int `json:"cache_misses,omitempty"`
+	// CacheStale counts windows whose entry matched content and round-1
+	// targets but not round-2: candidate generation was reused, sizing
+	// reran, and the entry was overwritten.
+	CacheStale int `json:"cache_stale,omitempty"`
+	// CacheErrors counts corrupt/torn entry loads (organic or injected)
+	// and failed write-backs. Each one degraded to a clean recompute;
+	// like Elapsed it is environment-dependent, not deterministic.
+	CacheErrors int `json:"cache_errors,omitempty"`
 }
 
 // Healthy reports whether every window was sized normally: no fallbacks,
@@ -76,6 +92,10 @@ func (h Health) String() string {
 	if h.Shards > 1 {
 		s += fmt.Sprintf(" shards=%d plan-div=%.4f", h.Shards, h.PlanDivergence)
 	}
+	if h.CacheHits+h.CacheMisses+h.CacheStale+h.CacheErrors > 0 {
+		s += fmt.Sprintf(" cache-hits=%d cache-misses=%d cache-stale=%d cache-errors=%d",
+			h.CacheHits, h.CacheMisses, h.CacheStale, h.CacheErrors)
+	}
 	return s + fmt.Sprintf(" elapsed=%s", h.Elapsed.Round(time.Millisecond))
 }
 
@@ -83,11 +103,16 @@ func (h Health) String() string {
 type healthCollector struct {
 	sized, skipped, cold, simplex, degraded, recovered atomic.Int64
 	peak                                               atomic.Int64
+	cacheErrs                                          atomic.Int64
 	budgetExceeded                                     atomic.Bool
-	// shards and planDivergence are written only by the coordinating
-	// pipeline goroutine, between parallel phases — no atomics needed.
+	// shards, planDivergence and the cache status counts are written only
+	// by the coordinating pipeline goroutine, between parallel phases —
+	// no atomics needed.
 	shards         int
 	planDivergence float64
+	cacheHits      int
+	cacheMisses    int
+	cacheStale     int
 }
 
 // noteDivergence records a shard proposal's divergence from the
@@ -124,5 +149,9 @@ func (hc *healthCollector) health(windows int, budget, elapsed time.Duration) He
 		PeakInFlight:    int(hc.peak.Load()),
 		Shards:          hc.shards,
 		PlanDivergence:  hc.planDivergence,
+		CacheHits:       hc.cacheHits,
+		CacheMisses:     hc.cacheMisses,
+		CacheStale:      hc.cacheStale,
+		CacheErrors:     int(hc.cacheErrs.Load()),
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"dummyfill/internal/dlp"
 	"dummyfill/internal/faultinject"
+	"dummyfill/internal/fillcache"
 )
 
 // Options tune the engine. The zero value is not usable; start from
@@ -74,6 +75,15 @@ type Options struct {
 	// and sizing sites — a test harness for the degradation paths. Nil
 	// (the default) injects nothing.
 	Inject *faultinject.Injector
+	// Cache enables the persistent content-addressed window cache for
+	// incremental (ECO) re-fill: windows whose content and plan targets
+	// match a previous run skip candidate generation and sizing and
+	// replay the stored fills, byte-identical to a cold run (DESIGN.md
+	// §13). Nil (the default) disables caching. The cache is best-effort:
+	// corrupt or unwritable entries cost time, never correctness, and
+	// are counted in Health.CacheErrors. Runs that inject engine-level
+	// faults bypass the cache so fault patterns stay deterministic.
+	Cache *fillcache.Cache
 }
 
 // DefaultOptions returns the parameters used in the paper's experiments

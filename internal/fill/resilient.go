@@ -54,7 +54,13 @@ func corruptSolver(base dlp.PSolver) dlp.PSolver {
 // window and is accounted in hc. Decisions are keyed by the window index
 // k, never by worker identity, so results and health counters are
 // identical for any Workers setting.
-func (e *Engine) sizeWindowResilient(ctx context.Context, k int, w *window, targets []int64, sc *sizeScratch, hc *healthCollector, start time.Time) ([]cell, error) {
+//
+// cacheable reports whether the result is safe to persist in the fill
+// cache: only a first-tier solve with no recovered panic qualifies.
+// Budget degradation is wall-clock driven and fallback-tier outcomes
+// depend on which tier failed — neither is a pure function of window
+// content, so neither may become sticky through the cache.
+func (e *Engine) sizeWindowResilient(ctx context.Context, k int, w *window, targets []int64, sc *sizeScratch, hc *healthCollector, start time.Time) (cells []cell, cacheable bool, err error) {
 	inj := e.opts.Inject
 	key := uint64(k)
 
@@ -68,7 +74,7 @@ func (e *Engine) sizeWindowResilient(ctx context.Context, k int, w *window, targ
 	}
 	if (e.opts.Budget > 0 && hc.budgetExceeded.Load()) || inj.Hit(faultinject.SiteBudget, key) {
 		hc.degraded.Add(1)
-		return e.noShrinkCells(w, targets, sc), nil
+		return e.noShrinkCells(w, targets, sc), false, nil
 	}
 
 	tiers := [...]struct {
@@ -81,7 +87,7 @@ func (e *Engine) sizeWindowResilient(ctx context.Context, k int, w *window, targ
 	}
 	for t, tier := range tiers {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if inj.Hit(tier.site, key) {
 			continue // injected tier failure: fall through to the next tier
@@ -105,7 +111,7 @@ func (e *Engine) sizeWindowResilient(ctx context.Context, k int, w *window, targ
 			case 2:
 				hc.simplex.Add(1)
 			}
-			return cs, nil
+			return cs, t == 0, nil
 		}
 		var pe *panicError
 		if errors.As(err, &pe) {
@@ -117,12 +123,12 @@ func (e *Engine) sizeWindowResilient(ctx context.Context, k int, w *window, targ
 			}
 		}
 		if cerr := ctx.Err(); cerr != nil {
-			return nil, cerr // hard abort: cancellation is not degradable
+			return nil, false, cerr // hard abort: cancellation is not degradable
 		}
 	}
 
 	hc.degraded.Add(1)
-	return e.noShrinkCells(w, targets, sc), nil
+	return e.noShrinkCells(w, targets, sc), false, nil
 }
 
 // noShrinkCells is the terminal degradation: emit the window's selected

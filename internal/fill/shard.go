@@ -70,7 +70,11 @@ func (e *Engine) shards() []shard {
 // false the upper bound uses the closed-form tileable area of the free
 // pieces (round 1) and the per-layer wire-density maps are returned too;
 // when true it uses the area of the selected candidates (round 2, wd nil).
-func (e *Engine) assembleBounds(ctx context.Context, wins []*window, sh []shard, selected bool, stage string) (bounds []density.LayerBounds, wd []*grid.Map, err error) {
+// In round 2 a cache-hit window has no selection — its per-layer selected
+// area comes from the cache entry, which recorded exactly what candgen
+// would have produced, so the assembled bounds (and hence the round-2
+// plan) are bit-identical to a cold run's.
+func (e *Engine) assembleBounds(ctx context.Context, wins []*window, sh []shard, selected bool, stage string, cst *cacheState) (bounds []density.LayerBounds, wd []*grid.Map, err error) {
 	nl := len(e.lay.Layers)
 	bounds = make([]density.LayerBounds, nl)
 	for li := 0; li < nl; li++ {
@@ -93,11 +97,15 @@ func (e *Engine) assembleBounds(ctx context.Context, wins []*window, sh []shard,
 					continue
 				}
 				if selected {
-					for li := range selArea {
-						selArea[li] = 0
-					}
-					for _, c := range w.sel {
-						selArea[c.layer] += c.rect.Area()
+					if cst.selValid(k) {
+						copy(selArea, cst.entries[k].SelArea)
+					} else {
+						for li := range selArea {
+							selArea[li] = 0
+						}
+						for _, c := range w.sel {
+							selArea[c.layer] += c.rect.Area()
+						}
 					}
 				}
 				for li := 0; li < nl; li++ {
@@ -269,7 +277,7 @@ func (em *shardEmitter) flushLocked(id int) error {
 // Either way a worker owns one sizing scratch for its whole lifetime, so
 // warm solver state flows window to window as before; the emitted fill
 // set is byte-identical across worker counts and shard counts.
-func (e *Engine) sizeAndEmitSharded(ctx context.Context, wins []*window, sh []shard, td []float64, sink Sink, hc *healthCollector, start time.Time) error {
+func (e *Engine) sizeAndEmitSharded(ctx context.Context, wins []*window, sh []shard, td []float64, sink Sink, hc *healthCollector, start time.Time, cst *cacheState) error {
 	workers := e.workerCount(len(wins))
 	em := newShardEmitter(sink, len(sh))
 	release := func(id, k int, fills []layout.Fill) error {
@@ -314,7 +322,7 @@ func (e *Engine) sizeAndEmitSharded(ctx context.Context, wins []*window, sh []sh
 								return
 							}
 							var fills []layout.Fill
-							if fills, serr = e.produceWindow(ctx, k, wins, td, sc, hc, start); serr != nil {
+							if fills, serr = e.produceWindow(ctx, k, wins, td, sc, hc, start, cst); serr != nil {
 								return
 							}
 							if serr = release(sid, k, fills); serr != nil {
@@ -385,7 +393,7 @@ func (e *Engine) sizeAndEmitSharded(ctx context.Context, wins []*window, sh []sh
 							if k >= s.k1 {
 								return
 							}
-							fills, err := e.produceWindow(ctx, k, wins, td, sc, hc, start)
+							fills, err := e.produceWindow(ctx, k, wins, td, sc, hc, start, cst)
 							if err == nil {
 								err = r.rb.deliver(k, fills)
 							}

@@ -81,7 +81,7 @@ func (e *Engine) runPipeline(ctx context.Context, sink Sink) (*Result, error) {
 	// per shard; halo-local shard proposals scored against the reconciled
 	// global plan (single-shard runs skip the proposal — it would be the
 	// global plan itself).
-	bounds, wd, err := e.assembleBounds(ctx, wins, sh, false, "plan1")
+	bounds, wd, err := e.assembleBounds(ctx, wins, sh, false, "plan1", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -101,10 +101,24 @@ func (e *Engine) runPipeline(ctx context.Context, sink Sink) (*Result, error) {
 		hc.noteDivergence(density.Divergence(p, plan1))
 	}
 
+	// Cache lookup (nil when Options.Cache is off or bypassed): windows
+	// whose content and round-1 targets match a stored entry skip
+	// candidate generation; whether their fills replay too is decided
+	// after round 2 (DESIGN.md §13).
+	cst, err := e.cacheLookup(ctx, wins, plan1.Td, hc)
+	if err != nil {
+		return nil, err
+	}
+
 	// Candidate generation under plan-1 guidance. The free pieces are
 	// consumed here: once a window's candidates are selected, only the
-	// selection and the wire slabs are still needed downstream.
-	err = e.forEachWindowStage(ctx, wins, "candgen", func(_ context.Context, _ int, w *window) error {
+	// selection and the wire slabs are still needed downstream. Cache-hit
+	// windows keep their free pieces for now — if round 2 drifts from the
+	// entry they rerun candgen late in cacheResolve.
+	err = e.forEachWindowStage(ctx, wins, "candgen", func(_ context.Context, k int, w *window) error {
+		if cst.selValid(k) {
+			return nil
+		}
 		w.selectCandidates(e.lay, plan1.Td, e.opts.Lambda, e.opts.Gamma)
 		for li := range w.layers {
 			w.layers[li].free = nil
@@ -115,14 +129,18 @@ func (e *Engine) runPipeline(ctx context.Context, sink Sink) (*Result, error) {
 		return nil, err
 	}
 	numCand := 0
-	for _, w := range wins {
-		numCand += len(w.sel)
+	for k, w := range wins {
+		if cst.selValid(k) {
+			numCand += cst.entries[k].NumSel
+		} else {
+			numCand += len(w.sel)
+		}
 	}
 
 	// Planning round 2: bounds restricted to what was actually selected
 	// (§3 — "another round of density planning is performed due to the
 	// inconsistency between candidate fills and initial plans").
-	bounds2, _, err := e.assembleBounds(ctx, wins, sh, true, "plan2")
+	bounds2, _, err := e.assembleBounds(ctx, wins, sh, true, "plan2", cst)
 	if err != nil {
 		return nil, err
 	}
@@ -139,6 +157,11 @@ func (e *Engine) runPipeline(ctx context.Context, sink Sink) (*Result, error) {
 	for _, p := range props {
 		hc.noteDivergence(density.Divergence(p, plan2))
 	}
+	// Cache resolve: decide replay vs stale now that round-2 targets are
+	// known; stale windows rerun candgen here.
+	if err := e.cacheResolve(ctx, wins, cst, plan2.Td, hc); err != nil {
+		return nil, err
+	}
 	uppers := make([]*grid.Map, len(bounds2))
 	for i := range bounds2 {
 		uppers[i] = bounds2[i].Upper
@@ -148,9 +171,9 @@ func (e *Engine) runPipeline(ctx context.Context, sink Sink) (*Result, error) {
 	}
 
 	if e.workerCount(len(wins)) <= 1 || len(sh) == 1 {
-		err = e.sizeAndEmit(ctx, wins, plan2.Td, sink, hc, start)
+		err = e.sizeAndEmit(ctx, wins, plan2.Td, sink, hc, start, cst)
 	} else {
-		err = e.sizeAndEmitSharded(ctx, wins, sh, plan2.Td, sink, hc, start)
+		err = e.sizeAndEmitSharded(ctx, wins, sh, plan2.Td, sink, hc, start, cst)
 	}
 	if err != nil {
 		return nil, err
@@ -172,21 +195,33 @@ func (e *Engine) runPipeline(ctx context.Context, sink Sink) (*Result, error) {
 // of both the unsharded and the sharded size+emit stages; a nil fill
 // slice (window skipped or everything shrunk away) still counts as
 // produced and must be released to advance the emission frontier.
-func (e *Engine) produceWindow(ctx context.Context, k int, wins []*window, td []float64, sc *sizeScratch, hc *healthCollector, start time.Time) ([]layout.Fill, error) {
+//
+// With an active cache, replay windows return their stored fills without
+// touching the solver, and every cleanly computed window (including
+// empty ones — "nothing to place here" is a result too) is written back.
+func (e *Engine) produceWindow(ctx context.Context, k int, wins []*window, td []float64, sc *sizeScratch, hc *healthCollector, start time.Time, cst *cacheState) ([]layout.Fill, error) {
 	w := wins[k]
+	if cst.replay(k) {
+		return cst.replayFills(k, w, hc), nil
+	}
 	if len(w.sel) == 0 {
 		hc.skipped.Add(1)
+		cst.store(k, w, nil, true, hc)
 		return nil, nil
 	}
 	targets := e.windowTargets(w, td, sc)
-	cs, err := e.sizeWindowResilient(ctx, k, w, targets, sc, hc, start)
-	if err != nil || len(cs) == 0 {
+	cs, cacheable, err := e.sizeWindowResilient(ctx, k, w, targets, sc, hc, start)
+	if err != nil {
 		return nil, err
 	}
-	fills := make([]layout.Fill, len(cs))
-	for i, c := range cs {
-		fills[i] = layout.Fill{Layer: c.layer, Rect: c.rect}
+	var fills []layout.Fill
+	if len(cs) > 0 {
+		fills = make([]layout.Fill, len(cs))
+		for i, c := range cs {
+			fills[i] = layout.Fill{Layer: c.layer, Rect: c.rect}
+		}
 	}
+	cst.store(k, w, fills, cacheable, hc)
 	return fills, nil
 }
 
@@ -202,14 +237,14 @@ func (e *Engine) produceWindow(ctx context.Context, k int, wins []*window, td []
 // Each worker owns one lazily-initialized sizing scratch for its whole
 // lifetime (the warm solver state flows from window to window), so the
 // run creates exactly min(Workers, windows) scratches.
-func (e *Engine) sizeAndEmit(ctx context.Context, wins []*window, td []float64, sink Sink, hc *healthCollector, start time.Time) error {
+func (e *Engine) sizeAndEmit(ctx context.Context, wins []*window, td []float64, sink Sink, hc *healthCollector, start time.Time, cst *cacheState) error {
 	nw := len(wins)
 	if nw == 0 {
 		return nil
 	}
 
 	produce := func(ctx context.Context, k int, sc *sizeScratch) ([]layout.Fill, error) {
-		return e.produceWindow(ctx, k, wins, td, sc, hc, start)
+		return e.produceWindow(ctx, k, wins, td, sc, hc, start, cst)
 	}
 	release := func(k int, fills []layout.Fill) error {
 		w := wins[k]

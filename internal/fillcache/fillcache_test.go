@@ -1,0 +1,248 @@
+package fillcache
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"dummyfill/internal/geom"
+	"dummyfill/internal/layout"
+)
+
+func testEntry() *Entry {
+	return &Entry{
+		Td1:     []float64{0.41, 0.38, 0.44},
+		Td2:     []float64{0.40, 0.39, 0.43},
+		SelArea: []int64{120000, 98000, 101000},
+		NumSel:  37,
+		Fills: []layout.Fill{
+			{Layer: 0, Rect: geom.R(10, 10, 50, 40)},
+			{Layer: 2, Rect: geom.R(100, 5, 180, 25)},
+		},
+	}
+}
+
+func testKey(b byte) Key {
+	var k Key
+	for i := range k {
+		k[i] = b + byte(i)
+	}
+	return k
+}
+
+func entryEqual(a, b *Entry) bool {
+	if len(a.Td1) != len(b.Td1) || len(a.Td2) != len(b.Td2) ||
+		len(a.SelArea) != len(b.SelArea) || a.NumSel != b.NumSel ||
+		len(a.Fills) != len(b.Fills) {
+		return false
+	}
+	for i := range a.Td1 {
+		if a.Td1[i] != b.Td1[i] || a.Td2[i] != b.Td2[i] || a.SelArea[i] != b.SelArea[i] {
+			return false
+		}
+	}
+	for i := range a.Fills {
+		if a.Fills[i] != b.Fills[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(7)
+	if got, err := c.Get(k); err != nil || got != nil {
+		t.Fatalf("empty cache Get = (%v, %v), want clean miss", got, err)
+	}
+	want := testEntry()
+	if err := c.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(k)
+	if err != nil || got == nil {
+		t.Fatalf("Get after Put = (%v, %v)", got, err)
+	}
+	if !entryEqual(got, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Corrupt != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestEmptyFillsRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(1)
+	want := testEntry()
+	want.Fills = nil
+	if err := c.Put(k, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(k)
+	if err != nil || got == nil || len(got.Fills) != 0 {
+		t.Fatalf("Get = (%+v, %v)", got, err)
+	}
+}
+
+// entryFile locates the single entry file under the cache directory.
+func entryFile(t *testing.T, c *Cache) string {
+	t.Helper()
+	var found string
+	err := filepath.WalkDir(c.Dir(), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".dfc" {
+			found = path
+		}
+		return err
+	})
+	if err != nil || found == "" {
+		t.Fatalf("no entry file found: %v", err)
+	}
+	return found
+}
+
+// TestCorruptionDetected mutates the stored bytes every possible way a
+// torn or bit-rotted file can present — truncation at several points,
+// single flipped bytes across the whole record, an empty file, and a
+// wrong-key rename — and asserts every variant reports ErrCorrupt
+// rather than decoding into data.
+func TestCorruptionDetected(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := testKey(3)
+	if err := c.Put(k, testEntry()); err != nil {
+		t.Fatal(err)
+	}
+	file := entryFile(t, c)
+	orig, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, data []byte) {
+		t.Helper()
+		if err := os.WriteFile(file, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := c.Get(k)
+		if got != nil {
+			t.Fatalf("%s: corrupt entry decoded: %+v", name, got)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+
+	check("empty", nil)
+	for _, cut := range []int{1, 16, 40, len(orig) / 2, len(orig) - 1} {
+		check("truncated", orig[:cut])
+	}
+	for pos := 0; pos < len(orig); pos += 13 {
+		mut := append([]byte(nil), orig...)
+		mut[pos] ^= 0x40
+		check("bit flip", mut)
+	}
+
+	// Intact bytes under the wrong key: the echo check must reject them.
+	if err := os.WriteFile(file, orig, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	k2 := testKey(9)
+	if err := c.Put(k2, testEntry()); err != nil {
+		t.Fatal(err)
+	}
+	_, other := c.path(k2)
+	if err := os.Rename(file, other); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := c.Get(k2); got != nil || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("wrong-key entry accepted: (%v, %v)", got, err)
+	}
+}
+
+// TestConcurrentPutGet hammers one cache from many goroutines, mixing
+// same-key overwrites with disjoint keys; run under -race in CI.
+func TestConcurrentPutGet(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testEntry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := testKey(byte(i % 5)) // heavy same-key contention
+				if err := c.Put(k, want); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+				got, err := c.Get(k)
+				if err != nil {
+					t.Errorf("Get: %v", err)
+					return
+				}
+				if got != nil && !entryEqual(got, want) {
+					t.Errorf("torn read: %+v", got)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestHasherCanonical(t *testing.T) {
+	h := NewHasher()
+	h.String("a")
+	h.Int64(42)
+	h.Rect(geom.R(1, 2, 3, 4))
+	k1 := h.Sum()
+
+	h.Reset()
+	h.String("a")
+	h.Int64(42)
+	h.Rect(geom.R(1, 2, 3, 4))
+	if k2 := h.Sum(); k1 != k2 {
+		t.Fatal("same inputs, different keys")
+	}
+
+	h.Reset()
+	h.String("a")
+	h.Int64(43)
+	h.Rect(geom.R(1, 2, 3, 4))
+	if k3 := h.Sum(); k1 == k3 {
+		t.Fatal("different inputs, same key")
+	}
+
+	// Length prefixing: ("ab","c") must not collide with ("a","bc").
+	h.Reset()
+	h.String("ab")
+	h.String("c")
+	ka := h.Sum()
+	h.Reset()
+	h.String("a")
+	h.String("bc")
+	if kb := h.Sum(); ka == kb {
+		t.Fatal("string framing collision")
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Fatal("Open(\"\") succeeded")
+	}
+}

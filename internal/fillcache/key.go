@@ -1,0 +1,72 @@
+package fillcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+
+	"dummyfill/internal/geom"
+)
+
+// Key is the content address of a cached window result: a SHA-256 over a
+// canonical serialization of the engine fingerprint and the window
+// content. Keys are derived exclusively through Hasher, whose inputs are
+// written in a fixed, documented order — never from map iteration, time,
+// or anything schedule-dependent.
+type Key [sha256.Size]byte
+
+// String renders the key as lowercase hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Hasher builds keys from a canonical byte stream. The zero value is not
+// usable; call NewHasher. A Hasher may be reused via Reset.
+type Hasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+// NewHasher returns a fresh key hasher.
+func NewHasher() *Hasher { return &Hasher{h: sha256.New()} }
+
+// Reset clears the hasher for reuse.
+func (h *Hasher) Reset() { h.h.Reset() }
+
+// Bytes writes raw bytes.
+func (h *Hasher) Bytes(b []byte) { h.h.Write(b) }
+
+// String writes a length-prefixed string, so adjacent variable-length
+// fields cannot alias each other's encodings.
+func (h *Hasher) String(s string) {
+	h.Int64(int64(len(s)))
+	h.h.Write([]byte(s))
+}
+
+// Int64 writes one little-endian int64.
+func (h *Hasher) Int64(v int64) {
+	binary.LittleEndian.PutUint64(h.buf[:], uint64(v))
+	h.h.Write(h.buf[:])
+}
+
+// Float64 writes the IEEE-754 bit pattern of v — bit equality, not
+// numeric equality, is the cache's notion of "same parameter".
+func (h *Hasher) Float64(v float64) {
+	binary.LittleEndian.PutUint64(h.buf[:], math.Float64bits(v))
+	h.h.Write(h.buf[:])
+}
+
+// Rect writes a rectangle as four int64 coordinates.
+func (h *Hasher) Rect(r geom.Rect) {
+	h.Int64(r.XL)
+	h.Int64(r.YL)
+	h.Int64(r.XH)
+	h.Int64(r.YH)
+}
+
+// Sum finalizes the key. The hasher remains usable (call Reset to start
+// a new key).
+func (h *Hasher) Sum() (k Key) {
+	h.h.Sum(k[:0])
+	return k
+}

@@ -31,6 +31,7 @@ import (
 
 	"dummyfill/internal/faultinject"
 	"dummyfill/internal/fill"
+	"dummyfill/internal/fillcache"
 	"dummyfill/internal/ingest"
 	"dummyfill/internal/layio"
 	"dummyfill/internal/layout"
@@ -91,6 +92,12 @@ type Config struct {
 	// (zero Lambda = fill.DefaultOptions()). Per-request parameters
 	// (workers, shards, lambda, deadline) override per job.
 	Options fill.Options
+	// FillCache is the persistent per-window fill cache — the second
+	// caching tier under the layout LRU. The layout cache short-circuits
+	// byte-identical requests; the fill cache accelerates *similar* ones
+	// (an edited layout resubmitted after an ECO) by replaying every
+	// unchanged window from disk. nil disables the tier.
+	FillCache *fillcache.Cache
 }
 
 // withDefaults resolves the zero fields.
@@ -439,6 +446,7 @@ func (s *Server) handleFill(w http.ResponseWriter, r *http.Request) {
 		opts.Lambda = p.lambda
 	}
 	opts.Budget = time.Duration(float64(remaining) * s.cfg.BudgetFraction)
+	opts.Cache = s.cfg.FillCache
 
 	buf := s.getBuf()
 	res, fills, err := s.runJob(jctx, lay, opts, ofmt, jobKey, buf)
@@ -483,6 +491,10 @@ func (s *Server) handleFill(w http.ResponseWriter, r *http.Request) {
 	h.Set("X-Fill-Windows", strconv.Itoa(res.Windows))
 	h.Set("X-Fill-Fills", strconv.Itoa(fills))
 	h.Set("X-Fill-Cache", map[bool]string{true: "hit", false: "miss"}[hit])
+	if s.cfg.FillCache != nil {
+		h.Set("X-Fill-Window-Cache", fmt.Sprintf("hits=%d misses=%d stale=%d errors=%d",
+			res.Health.CacheHits, res.Health.CacheMisses, res.Health.CacheStale, res.Health.CacheErrors))
+	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(buf.Bytes()) // client-side write errors are the client's problem
 	s.putBuf(buf)
@@ -607,6 +619,12 @@ func (s *Server) noteHealth(h fill.Health) {
 	s.met.add("fillserved_windows_total", `kind="recovered"`, int64(h.Recovered))
 	s.met.add("fillserved_windows_total", `kind="fallback_cold"`, int64(h.FallbackCold))
 	s.met.add("fillserved_windows_total", `kind="fallback_simplex"`, int64(h.FallbackSimplex))
+	if h.CacheHits+h.CacheMisses+h.CacheStale+h.CacheErrors > 0 {
+		s.met.add("fillserved_fill_cache_windows_total", `result="hit"`, int64(h.CacheHits))
+		s.met.add("fillserved_fill_cache_windows_total", `result="miss"`, int64(h.CacheMisses))
+		s.met.add("fillserved_fill_cache_windows_total", `result="stale"`, int64(h.CacheStale))
+		s.met.add("fillserved_fill_cache_windows_total", `result="error"`, int64(h.CacheErrors))
+	}
 	if h.BudgetExceeded {
 		s.met.add("fillserved_budget_exceeded_total", "", 1)
 	}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"dummyfill/internal/fill"
+	"dummyfill/internal/fillcache"
 	"dummyfill/internal/ingest"
 	"dummyfill/internal/layio"
 	"dummyfill/internal/layout"
@@ -540,4 +541,94 @@ func waitFor(t *testing.T, cond func() bool) {
 		time.Sleep(time.Millisecond)
 	}
 	t.Fatal("condition not reached within 2s")
+}
+
+// TestFillWindowCacheTier exercises the second caching tier: the layout
+// LRU short-circuits byte-identical payloads, while the fill cache
+// accelerates *edited* ones — an ECO resubmission replays every
+// unchanged window and the response stays byte-identical to an offline
+// uncached run on the same layout.
+func TestFillWindowCacheTier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine runs; skipping in -short")
+	}
+	fc, err := fillcache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Disable the layout LRU so resubmissions demonstrably flow through
+	// the engine and hit the window tier instead.
+	s := New(Config{CacheEntries: -1, FillCache: fc})
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	parseWC := func(resp *http.Response) (hits, misses int) {
+		t.Helper()
+		wc := resp.Header.Get("X-Fill-Window-Cache")
+		if _, err := fmt.Sscanf(wc, "hits=%d misses=%d", &hits, &misses); err != nil {
+			t.Fatalf("X-Fill-Window-Cache = %q: %v", wc, err)
+		}
+		return
+	}
+
+	payload := tinyLayoutBytes()
+	resp := postFill(t, ts, "?format=text&oformat=text&workers=2", payload)
+	cold := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold: status %d, body %s", resp.StatusCode, cold)
+	}
+	hits, misses := parseWC(resp)
+	if hits != 0 || misses == 0 {
+		t.Fatalf("cold run: hits=%d misses=%d", hits, misses)
+	}
+
+	// Identical resubmission (layout LRU off): every window replays.
+	resp = postFill(t, ts, "?format=text&oformat=text&workers=2", payload)
+	warm := readBody(t, resp)
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("warm response differs from cold")
+	}
+	hits, misses = parseWC(resp)
+	if misses != 0 || hits == 0 {
+		t.Fatalf("warm run: hits=%d misses=%d", hits, misses)
+	}
+
+	// ECO resubmission: an edited layout still replays its unchanged
+	// windows, and the body matches an offline run without any cache.
+	lay, err := synth.Generate(synth.DesignTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eco, _, err := synth.PerturbECO(lay, 0.05, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := textfmt.WriteLayout(&buf, eco); err != nil {
+		t.Fatal(err)
+	}
+	resp = postFill(t, ts, "?format=text&oformat=text&workers=2", buf.Bytes())
+	body := readBody(t, resp)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("eco: status %d, body %s", resp.StatusCode, body)
+	}
+	hits, misses = parseWC(resp)
+	if hits == 0 || misses == 0 {
+		t.Fatalf("eco run should mix replays and recomputes: hits=%d misses=%d", hits, misses)
+	}
+	opts := fill.DefaultOptions()
+	opts.Workers = 2
+	if want := offlineFill(t, buf.Bytes(), opts, "text"); !bytes.Equal(body, want) {
+		t.Fatal("eco response differs from offline uncached reference")
+	}
+
+	// The tier shows up on /metrics.
+	mresp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	met := string(readBody(t, mresp))
+	if !strings.Contains(met, `fillserved_fill_cache_windows_total{result="hit"}`) {
+		t.Fatalf("metrics missing fill cache series:\n%s", met)
+	}
 }

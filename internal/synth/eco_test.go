@@ -1,0 +1,117 @@
+package synth_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"dummyfill/internal/fill"
+	"dummyfill/internal/synth"
+)
+
+// TestPerturbECOLocality is the contract incremental re-fill depends on:
+// the perturbation changes some windows' content but leaves every window
+// outside the patch hashing to its original cache key, and the planned
+// target densities do not drift.
+func TestPerturbECOLocality(t *testing.T) {
+	lay, err := synth.Generate(synth.DesignTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const frac = 0.10
+	eco, changed, err := synth.PerturbECO(lay, frac, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed == 0 {
+		t.Fatal("perturbation moved no wires")
+	}
+
+	ctx := context.Background()
+	opts := fill.DefaultOptions()
+	g, before, err := fill.WindowDigests(ctx, lay, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, after, err := fill.WindowDigests(ctx, eco, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for k := range before {
+		if before[k].Key != after[k].Key {
+			diff++
+		}
+	}
+	nw := g.NumWindows()
+	budget := int(2*frac*float64(nw)) + 4
+	if diff == 0 {
+		t.Fatal("no window keys changed; perturbation is invisible")
+	}
+	if diff > budget {
+		t.Fatalf("%d of %d window keys changed, want <= %d (localized patch)", diff, nw, budget)
+	}
+
+	// Target densities must be bit-identical, otherwise every cached
+	// window outside the patch goes stale instead of replaying.
+	refEng, err := fill.New(lay, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := refEng.RunContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ecoEng, err := fill.New(eco, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ecoEng.RunContext(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref.FirstTargets, res.FirstTargets) || !reflect.DeepEqual(ref.Targets, res.Targets) {
+		t.Errorf("plan targets drifted:\n round1 %v -> %v\n round2 %v -> %v",
+			ref.FirstTargets, res.FirstTargets, ref.Targets, res.Targets)
+	}
+}
+
+// TestPerturbECODeterministic: same layout, fraction and seed produce the
+// same perturbed layout; a different seed produces a different one.
+func TestPerturbECODeterministic(t *testing.T) {
+	lay, err := synth.Generate(synth.DesignTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ca, err := synth.PerturbECO(lay, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, cb, err := synth.PerturbECO(lay, 0.05, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca != cb || !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different perturbations")
+	}
+	c, _, err := synth.PerturbECO(lay, 0.05, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical perturbations")
+	}
+}
+
+// TestPerturbECORejectsBadFraction covers the argument contract.
+func TestPerturbECORejectsBadFraction(t *testing.T) {
+	lay, err := synth.Generate(synth.DesignTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0, -0.5, 1.5} {
+		if _, _, err := synth.PerturbECO(lay, frac, 1); err == nil {
+			t.Errorf("frac %v: want error", frac)
+		}
+	}
+}
