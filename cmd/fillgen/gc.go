@@ -1,0 +1,58 @@
+package main
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	dummyfill "dummyfill"
+)
+
+// runCacheGC trims the fill cache at dir to at most the given size
+// (and, when age > 0, drops entries older than age), then prints the
+// pass summary.
+func runCacheGC(dir, size string, age time.Duration) error {
+	if dir == "" {
+		return fmt.Errorf("-cache-gc needs -cache <dir>")
+	}
+	maxBytes, err := parseSize(size)
+	if err != nil {
+		return err
+	}
+	cache, err := dummyfill.OpenFillCache(dir)
+	if err != nil {
+		return err
+	}
+	res, err := cache.GC(maxBytes, age, time.Now())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("cache-gc %s: %s\n", dir, res)
+	return nil
+}
+
+// parseSize reads a byte size like "0", "4096", "64KB", "256MB" or
+// "2GB" (1024-based suffixes; B/KB/MB/GB, case-insensitive).
+func parseSize(s string) (int64, error) {
+	t := strings.ToUpper(strings.TrimSpace(s))
+	mult := int64(1)
+	switch {
+	case strings.HasSuffix(t, "GB"):
+		mult, t = 1<<30, t[:len(t)-2]
+	case strings.HasSuffix(t, "MB"):
+		mult, t = 1<<20, t[:len(t)-2]
+	case strings.HasSuffix(t, "KB"):
+		mult, t = 1<<10, t[:len(t)-2]
+	case strings.HasSuffix(t, "B"):
+		t = t[:len(t)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad size %q (want e.g. 4096, 64KB, 256MB)", s)
+	}
+	if mult > 1 && n > (1<<62)/mult {
+		return 0, fmt.Errorf("size %q overflows", s)
+	}
+	return n * mult, nil
+}

@@ -22,6 +22,7 @@ import (
 
 	dummyfill "dummyfill"
 	"dummyfill/cmd/internal/ingestfmt"
+	"dummyfill/internal/deffmt"
 	"dummyfill/internal/exp"
 	"dummyfill/internal/gdsii"
 	"dummyfill/internal/layio"
@@ -30,7 +31,7 @@ import (
 )
 
 func main() {
-	design := flag.String("design", "s", "design name: s, b, m or tiny (ignored with -in)")
+	design := flag.String("design", "s", "design name: s, b, m, row or tiny (ignored with -in)")
 	in := flag.String("in", "", "input layout file; overrides -design")
 	format := flag.String("format", "auto", "input layout format for -in: auto (sniff), "+strings.Join(dummyfill.Formats(), ", "))
 	oformat := flag.String("oformat", "gds", "output solution format: "+strings.Join(dummyfill.Formats(), ", "))
@@ -42,7 +43,11 @@ func main() {
 	shards := flag.Int("shards", 0, "row-band shards for hierarchical planning and emission (0 = one per core); output is identical for every value")
 	deadline := flag.Duration("deadline", 0, "soft time budget: past it, remaining windows emit unshrunk candidates instead of failing (0 = unlimited)")
 	stream := flag.Bool("stream", false, "stream fills to the output as windows complete (method ours only; bounded memory, no score report)")
+	mode := flag.String("mode", "rect", "fill mode: rect (continuous rectangles) or site (filler-cell placement; needs a layout with rows — DEF input or -design row)")
+	pad := flag.Int("pad", 0, "site-mode padding: empty sites kept between fillers and placed cells (ignored with -mode rect)")
 	cacheDir := flag.String("cache", "", "persistent fill-cache directory for incremental re-fill (created if missing; method ours only)")
+	cacheGC := flag.String("cache-gc", "", "trim the -cache directory to this size (e.g. 256MB) and exit; no fill run")
+	cacheGCAge := flag.Duration("cache-gc-age", 0, "with -cache-gc, also drop cache entries older than this (0 = no age bound)")
 	diff := flag.String("diff", "", "old layout file: report per-window cache invalidation vs the current input instead of running the flow")
 	var prof exp.Profiling
 	prof.RegisterFlags(flag.CommandLine)
@@ -65,6 +70,13 @@ func main() {
 	ofmt, err := layio.Lookup(*oformat)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *cacheGC != "" {
+		if err := runCacheGC(*cacheDir, *cacheGC, *cacheGCAge); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	var lay *dummyfill.Layout
@@ -91,6 +103,8 @@ func main() {
 	if *lambda > 0 {
 		opts.Lambda = *lambda
 	}
+	opts.Mode = *mode
+	opts.SitePad = *pad
 	opts.Workers = *workers
 	opts.Shards = *shards
 	opts.Budget = *deadline
@@ -122,7 +136,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		sw, err := ofmt.NewShapeWriter(f, layio.Header{Name: lay.Name, Struct: "FILL"})
+		sw, err := ofmt.NewShapeWriter(f, layio.Header{Name: lay.Name, Struct: "FILL", Die: lay.Die, Sites: lay.Sites})
 		if err != nil {
 			fatal(err)
 		}
@@ -175,6 +189,13 @@ func main() {
 	if vs := dummyfill.CheckDRC(lay, sol); len(vs) != 0 {
 		fmt.Fprintf(os.Stderr, "fillgen: WARNING: %d DRC violations (first: %v)\n", len(vs), vs[0])
 	}
+	if opts.Mode == dummyfill.ModeSite && chosen.Name == "ours" {
+		if vs := dummyfill.CheckSiteDRC(lay, sol, opts.SiteLib, opts.SitePad); len(vs) != 0 {
+			fmt.Fprintf(os.Stderr, "fillgen: WARNING: %d site DRC violations (first: %v)\n", len(vs), vs[0])
+		} else {
+			fmt.Printf("site DRC: clean (pad %d)\n", opts.SitePad)
+		}
+	}
 	fmt.Printf("design %s, method %s: %d fills\n", *design, chosen.Name, len(sol.Fills))
 	if health != nil {
 		fmt.Printf("health: %s\n", health)
@@ -212,6 +233,8 @@ func writeSolution(w *os.File, format string, lay *dummyfill.Layout, sol *dummyf
 		return oasis.FromSolution(lay.Name, sol).Write(w)
 	case textfmt.FormatName:
 		return textfmt.WriteSolution(w, lay.Name, sol)
+	case deffmt.FormatName:
+		return deffmt.WriteSolution(w, lay, sol)
 	default:
 		return fmt.Errorf("unknown output format %q", format)
 	}
@@ -224,6 +247,8 @@ func outExt(format string) string {
 		return "oas"
 	case textfmt.FormatName:
 		return "txt"
+	case deffmt.FormatName:
+		return "def"
 	default:
 		return "gds"
 	}

@@ -11,15 +11,16 @@ import (
 	"fmt"
 	"os"
 
+	"dummyfill/internal/deffmt"
 	"dummyfill/internal/gdsii"
 	"dummyfill/internal/synth"
 	"dummyfill/internal/textfmt"
 )
 
 func main() {
-	design := flag.String("design", "s", "design name: s, b, m or tiny")
-	out := flag.String("o", "", "output path (default <design>.gds or .txt)")
-	format := flag.String("format", "gds", "output format: gds or text")
+	design := flag.String("design", "s", "design name: s, b, m, row or tiny")
+	out := flag.String("o", "", "output path (default <design>.gds, .txt or .def)")
+	format := flag.String("format", "gds", "output format: gds, text or def (def carries the placement rows site mode needs)")
 	stats := flag.Bool("stats", false, "print layout statistics")
 	flag.Parse()
 
@@ -42,8 +43,11 @@ func main() {
 	path := *out
 	if path == "" {
 		ext := ".gds"
-		if *format == "text" {
+		switch *format {
+		case "text":
 			ext = ".txt"
+		case "def":
+			ext = ".def"
 		}
 		path = *design + ext
 	}
@@ -57,6 +61,8 @@ func main() {
 		err = gdsii.FromLayout(lay, nil).Write(f)
 	case "text":
 		err = textfmt.WriteLayout(f, lay)
+	case "def":
+		err = deffmt.WriteLayout(f, lay, nil)
 	default:
 		err = fmt.Errorf("unknown format %q", *format)
 	}

@@ -4,6 +4,7 @@ import (
 	"io"
 
 	"dummyfill/internal/cmppad"
+	"dummyfill/internal/deffmt"
 	"dummyfill/internal/fill"
 	"dummyfill/internal/gdsii"
 	"dummyfill/internal/grid"
@@ -109,6 +110,16 @@ func WriteTextSolution(w io.Writer, name string, sol *Solution) error {
 // ReadTextSolution parses a text-format fill solution.
 func ReadTextSolution(r io.Reader) (name string, sol *Solution, err error) {
 	return textfmt.ReadSolution(r)
+}
+
+// WriteDEFLayout emits the layout (wires, plus sol's fills when
+// non-nil) as a DEF deck: DIEAREA, the site lattice as a ROW statement,
+// and every shape as a placed COMPONENT. Site-aligned fills use the
+// OpenROAD filler master convention (FILL_X<sites>); all other shapes
+// use the subset's geometry-encoding masters, so any layout round-trips
+// (see internal/deffmt).
+func WriteDEFLayout(w io.Writer, lay *Layout, sol *Solution) error {
+	return deffmt.WriteLayout(w, lay, sol)
 }
 
 // AutoTuneLambda runs the fill engine at several candidate overfill

@@ -84,7 +84,24 @@ type (
 	// FillCacheStats is a point-in-time snapshot of a FillCache's
 	// hit/miss/corruption counters.
 	FillCacheStats = fillcache.Stats
+	// SiteGrid is a standard-cell placement lattice (rows × sites); a
+	// Layout carrying one can run the site fill mode.
+	SiteGrid = layout.SiteGrid
+	// FillLib is a discrete filler-cell master library: the legal
+	// site-mode fill widths and their master naming.
+	FillLib = layout.FillLib
 )
+
+// Fill mode names for Options.Mode: the paper's continuous-rect mode and
+// the site-grid filler-cell placement mode.
+const (
+	ModeRect = fill.ModeRect
+	ModeSite = fill.ModeSite
+)
+
+// DefaultFillLib returns the power-of-two filler master library
+// (FILL_X1 … FILL_X32) used when Options.SiteLib is nil.
+func DefaultFillLib() *FillLib { return layout.DefaultFillLib() }
 
 // R constructs a rectangle, normalizing swapped bounds.
 func R(xl, yl, xh, yh int64) Rect { return geom.R(xl, yl, xh, yh) }
@@ -151,7 +168,7 @@ func InsertStreamTo(ctx context.Context, w io.Writer, lay *Layout, opts Options,
 	if err != nil {
 		return nil, err
 	}
-	sw, err := f.NewShapeWriter(w, layio.Header{Name: lay.Name, Struct: "TOP"})
+	sw, err := f.NewShapeWriter(w, layio.Header{Name: lay.Name, Struct: "TOP", Die: lay.Die, Sites: lay.Sites})
 	if err != nil {
 		return nil, err
 	}
@@ -209,6 +226,14 @@ func InsertStreamOASIS(ctx context.Context, w io.Writer, lay *Layout, opts Optio
 // containment in the declared fill regions.
 func CheckDRC(lay *Layout, sol *Solution) []Violation {
 	return drc.Check(lay, sol, true)
+}
+
+// CheckSiteDRC verifies a site-mode solution against the layout's
+// placement lattice: site alignment, master-library widths, and the
+// padding clearance (in sites) to same-row wires. Run it alongside
+// CheckDRC, which covers the geometric overlap rules.
+func CheckSiteDRC(lay *Layout, sol *Solution, lib *FillLib, pad int) []Violation {
+	return drc.CheckSites(lay, sol, lib, pad)
 }
 
 // Measured carries the environment-dependent raw measurements of a run.

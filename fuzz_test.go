@@ -55,6 +55,11 @@ func FuzzReadLayout(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(txtSol.Bytes())
+	var def bytes.Buffer
+	if err := dummyfill.WriteDEFLayout(&def, lay, sol); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(def.Bytes())
 	f.Add([]byte{})
 	f.Add([]byte("layout x\n"))
 	f.Add([]byte("# comment only\n"))
@@ -62,6 +67,15 @@ func FuzzReadLayout(f *testing.F) {
 	f.Add(oas.Bytes()[:16])
 	// Text directives with hostile layer ids (layer-cap path).
 	f.Add([]byte("solution s\nfill 999999999 0 0 1 1\n"))
+	// DEF seeds: a tiny well-formed deck, truncations, hostile counts, and
+	// a filler component with no ROW to size it against.
+	f.Add([]byte("VERSION 5.8 ;\nDESIGN d ;\nDIEAREA ( 0 0 ) ( 100 100 ) ;\n" +
+		"ROW r cs 0 0 N DO 10 BY 2 STEP 10 50 ;\nCOMPONENTS 1 ;\n" +
+		"- fill_0 FILL_X1 + PLACED ( 0 0 ) N ;\nEND COMPONENTS\nEND DESIGN\n"))
+	f.Add([]byte("DIEAREA ( 0 0 ) ( 10"))
+	f.Add([]byte("# def deck\nVERSION 5.8 ;\nEND DESIGN\n"))
+	f.Add([]byte("COMPONENTS 999999999 ;\n- f FILL_X99 + PLACED ( 0 0 ) N ;\n"))
+	f.Add([]byte("ROW r cs 0 0 N DO 9999999999 BY 9999999999 STEP 1 1 ;\nCOMPONENTS 0 ;\n"))
 
 	rules := dummyfill.Rules{MinWidth: 2, MinSpace: 1, MinArea: 4}
 	f.Fuzz(func(t *testing.T, data []byte) {

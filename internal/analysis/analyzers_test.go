@@ -15,6 +15,12 @@ func TestNoDetermFixtures(t *testing.T) {
 	// Cache-key hazards: timestamped keys never hit, map-order hashing
 	// makes identical content key differently across runs.
 	runFixture(t, NoDeterm, fixturePath("nodeterm", "fillcache.go"), "dummyfill/internal/fillcache")
+	// DEF-writer hazards: timestamped headers and map-order component
+	// emission break the round-trip golden.
+	runFixture(t, NoDeterm, fixturePath("nodeterm", "deffmt.go"), "dummyfill/internal/deffmt")
+	// Site-mode hazards: map-order gap collection and random width
+	// tie-breaks break the site golden matrix.
+	runFixture(t, NoDeterm, fixturePath("nodeterm", "site.go"), "dummyfill/internal/fill")
 }
 
 // TestNoDetermScope checks that the same hazards outside the
@@ -39,6 +45,9 @@ func TestCtxFlowFixtures(t *testing.T) {
 	runFixture(t, CtxFlow, fixturePath("ctxflow", "serve.go"), "dummyfill/internal/serve")
 	// Cache-tier hazards: lookups detached from the engine's run context.
 	runFixture(t, CtxFlow, fixturePath("ctxflow", "fillcache.go"), "dummyfill/internal/fillcache")
+	// DEF-ingest hazards: decode helpers detached from the pipeline's
+	// cancellable context.
+	runFixture(t, CtxFlow, fixturePath("ctxflow", "deffmt.go"), "dummyfill/internal/deffmt")
 }
 
 // TestCtxFlowServeScope pins internal/serve inside the ctxflow scope: a
@@ -62,6 +71,18 @@ func TestFillcacheScope(t *testing.T) {
 	}
 }
 
+// TestDeffmtScope pins internal/deffmt inside both the nodeterm and
+// ctxflow scopes: emitted DEF decks are golden-hashed like every other
+// wire format, and ingest runs under the cancellable pipeline.
+func TestDeffmtScope(t *testing.T) {
+	if !NoDeterm.Packages("dummyfill/internal/deffmt") {
+		t.Fatal("nodeterm does not scope over dummyfill/internal/deffmt")
+	}
+	if !CtxFlow.Packages("dummyfill/internal/deffmt") {
+		t.Fatal("ctxflow does not scope over dummyfill/internal/deffmt")
+	}
+}
+
 func TestPoolPairFixtures(t *testing.T) {
 	// poolpair is unscoped: pool discipline holds module-wide.
 	runFixture(t, PoolPair, fixturePath("poolpair", "bad.go"), "dummyfill/internal/geom")
@@ -71,6 +92,8 @@ func TestPoolPairFixtures(t *testing.T) {
 	runFixture(t, PoolPair, fixturePath("poolpair", "serve.go"), "dummyfill/internal/serve")
 	// Cache hasher-scratch pools: leaked Gets and early-return leaks.
 	runFixture(t, PoolPair, fixturePath("poolpair", "fillcache.go"), "dummyfill/internal/fillcache")
+	// Site-mode candidate-batch scratch: leaked on empty-lattice bails.
+	runFixture(t, PoolPair, fixturePath("poolpair", "site.go"), "dummyfill/internal/fill")
 }
 
 func TestGeomCastFixtures(t *testing.T) {

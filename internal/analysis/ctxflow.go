@@ -19,6 +19,7 @@ var ctxPackages = pkgScope(
 	"internal/gdsii",
 	"internal/oasis",
 	"internal/textfmt",
+	"internal/deffmt",
 	"internal/exp",
 	"internal/serve",
 )

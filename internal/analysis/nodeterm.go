@@ -25,6 +25,7 @@ var detPackages = pkgScope(
 	"internal/gdsii",
 	"internal/oasis",
 	"internal/textfmt",
+	"internal/deffmt",
 )
 
 // NoDeterm reports determinism-contract violations: imports of math/rand,

@@ -1,0 +1,19 @@
+// Seeded DEF-ingest ctxflow violations: ingest runs under the engine's
+// cancellable pipeline, so reader helpers must not detach a decode from
+// the caller's context by minting a fresh root.
+package deffmt
+
+import "context"
+
+func ingestDeck(ctx context.Context, decode func(context.Context) error) error {
+	return decode(context.Background()) // want "context.Background inside a function that already has a context parameter"
+}
+
+func drainComponents(next func(context.Context) (bool, error)) error {
+	for {
+		more, err := next(context.TODO()) // want "context.TODO below the public API"
+		if err != nil || !more {
+			return err
+		}
+	}
+}

@@ -1,0 +1,25 @@
+// Seeded DEF-writer nodeterm violations: emitted decks feed the DEF
+// round-trip golden, so component order must not come from map
+// iteration and headers must not carry wall-clock timestamps (two runs
+// over the same layout must produce the same bytes).
+package deffmt
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+func writeTimestampHeader(w io.Writer, name string) {
+	fmt.Fprintf(w, "# generated %v\nDESIGN %s ;\n", time.Now(), name) // want "wall-clock read time.Now"
+}
+
+func writeComponents(w io.Writer, placements map[string][]int64) {
+	i := 0
+	for master, xs := range placements { // want "range over a map"
+		for _, x := range xs {
+			fmt.Fprintf(w, "- f_%d %s + PLACED ( %d 0 ) N ;\n", i, master, x)
+			i++
+		}
+	}
+}

@@ -1,0 +1,22 @@
+// Seeded site-mode nodeterm violations: filler placement shares the
+// byte-identity contract with rect mode, so per-row gap maps must not
+// be consumed in map order and width tie-breaks must not be random.
+package fill
+
+import "math/rand" // want "imports math/rand"
+
+type siteGap struct{ row, i0, i1 int }
+
+func collectGaps(byRow map[int][]siteGap) []siteGap {
+	var out []siteGap
+	for _, gaps := range byRow { // want "range over a map"
+		out = append(out, gaps...)
+	}
+	return out
+}
+
+func jitterWidths(widths []int64) {
+	rand.Shuffle(len(widths), func(i, j int) {
+		widths[i], widths[j] = widths[j], widths[i]
+	})
+}

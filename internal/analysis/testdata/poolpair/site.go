@@ -1,0 +1,34 @@
+// Seeded site-mode poolpair violations: the per-window candidate batch
+// scratch is pooled; a selection pass that forgets to return it (or
+// bails out on an empty lattice) bleeds a batch allocation per window.
+package fill
+
+import "sync"
+
+type siteScratch struct{ batch []int64 }
+
+var sitePool = sync.Pool{New: func() any { return new(siteScratch) }}
+
+func leakedSelect(widths []int64) int {
+	ss := sitePool.Get().(*siteScratch) // want "without a matching"
+	ss.batch = append(ss.batch[:0], widths...)
+	return len(ss.batch)
+}
+
+func earlyBailSelect(widths []int64) int {
+	ss := sitePool.Get().(*siteScratch)
+	if len(widths) == 0 {
+		return 0 // want "return between"
+	}
+	ss.batch = append(ss.batch[:0], widths...)
+	n := len(ss.batch)
+	sitePool.Put(ss)
+	return n
+}
+
+func pairedSelect(widths []int64) int {
+	ss := sitePool.Get().(*siteScratch)
+	defer sitePool.Put(ss)
+	ss.batch = append(ss.batch[:0], widths...)
+	return len(ss.batch)
+}

@@ -1,0 +1,429 @@
+package deffmt
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"slices"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dummyfill/internal/geom"
+	"dummyfill/internal/layio"
+	"dummyfill/internal/layout"
+)
+
+// maxRowRepeat, maxRowPitch and maxRowCoord cap ROW statements at
+// implausible-but-safe magnitudes: repetition bounds the per-row origin
+// walk in deriveSites, and pitch/origin bounds keep repetition × pitch
+// products inside int64.
+const (
+	maxRowRepeat = 1 << 24
+	maxRowPitch  = 1 << 32
+	maxRowCoord  = 1 << 48
+)
+
+// rowRec is one parsed ROW statement before lattice derivation.
+type rowRec struct {
+	x, y   int64
+	nx, ny int64
+	sx, sy int64
+}
+
+// shapeReader streams COMPONENTS out of a DEF deck. The preamble
+// (DESIGN, DIEAREA, ROW) is parsed on the way to the first component;
+// everything the subset does not model (NETS, PINS, TRACKS, …) is
+// rejected, so a deck that silently lost geometry cannot pass.
+type shapeReader struct {
+	sc  *bufio.Scanner
+	lim layio.Limits
+
+	hdr     layio.Header
+	rows    []rowRec
+	stmt    []string // tokens of the statement being assembled
+	queue   []string // tokens carried over past a ';' split
+	records int64
+	shapes  int64
+
+	inComponents bool
+	ended        bool
+	err          error
+}
+
+// NewShapeReader opens a streaming DEF reader. Zero limit fields are
+// unlimited.
+func NewShapeReader(r io.Reader, lim layio.Limits) layio.ShapeReader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	return &shapeReader{sc: sc, lim: lim}
+}
+
+func (sr *shapeReader) Header() layio.Header { return sr.hdr }
+
+func (sr *shapeReader) fail(format string, args ...any) (layio.Shape, error) {
+	sr.err = fmt.Errorf("deffmt: "+format, args...)
+	return layio.Shape{}, sr.err
+}
+
+func (sr *shapeReader) Next() (layio.Shape, error) {
+	if sr.err != nil {
+		return layio.Shape{}, sr.err
+	}
+	for {
+		stmt, err := sr.nextStmt()
+		if err == io.EOF {
+			sr.finishHeader()
+			return layio.Shape{}, io.EOF
+		}
+		if err != nil {
+			sr.err = err
+			return layio.Shape{}, err
+		}
+		switch stmt[0] {
+		case "VERSION", "UNITS", "BUSBITCHARS", "DIVIDERCHAR", "TECHNOLOGY", "HISTORY":
+			// Accepted and ignored: no geometry. Coordinates pass through
+			// as database units regardless of UNITS.
+		case "DESIGN":
+			if len(stmt) >= 2 {
+				sr.hdr.Name = stmt[1]
+			}
+		case "DIEAREA":
+			n, err := ints(stmt[1:])
+			if err != nil || len(n) != 4 {
+				return sr.fail("malformed DIEAREA %v", stmt)
+			}
+			sr.hdr.Die = geom.R(n[0], n[1], n[2], n[3])
+		case "ROW":
+			if sr.inComponents {
+				return sr.fail("ROW after COMPONENTS")
+			}
+			rec, err := parseRow(stmt)
+			if err != nil {
+				return sr.fail("%v", err)
+			}
+			sr.rows = append(sr.rows, rec)
+		case "COMPONENTS":
+			if err := sr.deriveSites(); err != nil {
+				sr.err = err
+				return layio.Shape{}, err
+			}
+			sr.inComponents = true
+		case "-":
+			if !sr.inComponents {
+				return sr.fail("component statement outside COMPONENTS")
+			}
+			sr.shapes++
+			if sr.lim.MaxShapes > 0 && sr.shapes > sr.lim.MaxShapes {
+				return sr.fail("%w: %d components", layio.ErrLimit, sr.shapes)
+			}
+			s, err := sr.parseComponent(stmt)
+			if err != nil {
+				sr.err = err
+				return layio.Shape{}, err
+			}
+			if s.Layer >= sr.hdr.NumLayers {
+				sr.hdr.NumLayers = s.Layer + 1
+			}
+			return s, nil
+		case "END":
+			what := ""
+			if len(stmt) > 1 {
+				what = stmt[1]
+			}
+			switch what {
+			case "COMPONENTS":
+				sr.inComponents = false
+			case "DESIGN":
+				sr.ended = true
+				sr.finishHeader()
+				return layio.Shape{}, io.EOF
+			default:
+				return sr.fail("unexpected END %s", what)
+			}
+		default:
+			return sr.fail("unsupported statement %q (the DEF subset models DESIGN, DIEAREA, ROW and COMPONENTS)", stmt[0])
+		}
+	}
+}
+
+// finishHeader synthesizes the layout metadata a DEF deck implies: the
+// derived lattice and permissive fill rules (abutting fillers are legal
+// on a placement lattice, so MinSpace is 0 and the free regions are the
+// exact complement of the placed components).
+func (sr *shapeReader) finishHeader() {
+	if sr.hdr.Sites == nil {
+		_ = sr.deriveSites() // no components seen; best-effort for rows-only decks
+	}
+	sr.hdr.Rules = layout.Rules{MinWidth: 1, MinSpace: 0, MinArea: 1}
+	if sr.hdr.NumLayers == 0 && sr.hdr.Sites != nil {
+		sr.hdr.NumLayers = 1
+	}
+}
+
+// deriveSites folds the accumulated ROW statements into one uniform
+// SiteGrid. Both per-row DEF (one statement per row, DO n BY 1) and the
+// compact 2-D repetition (DO n BY m STEP sw rh) are accepted.
+func (sr *shapeReader) deriveSites() error {
+	if sr.hdr.Sites != nil || len(sr.rows) == 0 {
+		return nil
+	}
+	var minX, minY, maxX, maxY int64
+	var siteW, rowH, sites int64
+	var ys []int64 // every row origin, sorted+deduped before derivation
+	for i, r := range sr.rows {
+		if r.nx < 1 || r.ny < 1 || r.sx <= 0 {
+			return fmt.Errorf("deffmt: ROW with non-positive repetition %+v", r)
+		}
+		// Plausibility caps: they bound the y-origin walk below and keep
+		// every product off int64 overflow, so a hostile deck cannot spin
+		// or wrap the derivation.
+		if r.nx > maxRowRepeat || r.ny > maxRowRepeat {
+			return fmt.Errorf("deffmt: ROW repetition %dx%d exceeds the %d cap", r.nx, r.ny, maxRowRepeat)
+		}
+		if r.sx > maxRowPitch || r.sy > maxRowPitch || r.x < -maxRowCoord || r.x > maxRowCoord || r.y < -maxRowCoord || r.y > maxRowCoord {
+			return fmt.Errorf("deffmt: ROW geometry out of range %+v", r)
+		}
+		if siteW == 0 {
+			siteW = r.sx
+		} else if r.sx != siteW {
+			return fmt.Errorf("deffmt: inconsistent site widths %d and %d", siteW, r.sx)
+		}
+		if r.ny > 1 {
+			if r.sy <= 0 {
+				return fmt.Errorf("deffmt: ROW repeats %d rows with step %d", r.ny, r.sy)
+			}
+			if rowH == 0 {
+				rowH = r.sy
+			} else if r.sy != rowH {
+				return fmt.Errorf("deffmt: inconsistent row heights %d and %d", rowH, r.sy)
+			}
+		}
+		for j := int64(0); j < r.ny; j++ {
+			ys = append(ys, r.y+j*r.sy)
+		}
+		if i == 0 || r.x < minX {
+			minX = r.x
+		}
+		if i == 0 || r.y < minY {
+			minY = r.y
+		}
+		if e := r.x + r.nx*r.sx; i == 0 || e > maxX {
+			maxX = e
+		}
+		if e := r.y + (r.ny-1)*r.sy; i == 0 || e > maxY {
+			maxY = e
+		}
+		if r.nx > sites {
+			sites = r.nx
+		}
+	}
+	if rowH == 0 {
+		// Per-row statements: the row height is the smallest positive
+		// spacing between row origins.
+		sort.Slice(ys, func(a, b int) bool { return ys[a] < ys[b] })
+		ys = slices.Compact(ys)
+		for _, y := range ys {
+			if d := y - minY; d > 0 && (rowH == 0 || d < rowH) {
+				rowH = d
+			}
+		}
+		for _, y := range ys {
+			if rowH == 0 || (y-minY)%rowH != 0 {
+				return fmt.Errorf("deffmt: cannot derive a uniform row height from ROW origins")
+			}
+		}
+	}
+	nrows := int((maxY-minY)/rowH) + 1
+	sg := layout.SiteGrid{
+		Origin: geom.Point{X: minX, Y: minY},
+		SiteW:  siteW, RowH: rowH,
+		Rows: nrows, Sites: int(sites),
+	}
+	if err := sg.Validate(); err != nil {
+		return fmt.Errorf("deffmt: derived site grid invalid: %w", err)
+	}
+	sr.hdr.Sites = &sg
+	return nil
+}
+
+// parseComponent turns one "- inst master + PLACED ( x y ) orient ;"
+// statement into a shape, recovering geometry from the master name.
+func (sr *shapeReader) parseComponent(stmt []string) (layio.Shape, error) {
+	if len(stmt) < 3 {
+		return layio.Shape{}, fmt.Errorf("deffmt: truncated component %v", stmt)
+	}
+	master := stmt[2]
+	var x, y int64
+	placed := false
+	for i := 3; i < len(stmt); i++ {
+		if stmt[i] != "PLACED" && stmt[i] != "FIXED" {
+			continue
+		}
+		if i+2 >= len(stmt) {
+			return layio.Shape{}, fmt.Errorf("deffmt: truncated placement in %v", stmt)
+		}
+		n, err := ints(stmt[i+1 : i+3])
+		if err != nil {
+			return layio.Shape{}, fmt.Errorf("deffmt: bad placement coordinates in %v", stmt)
+		}
+		x, y, placed = n[0], n[1], true
+		break
+	}
+	if !placed {
+		return layio.Shape{}, fmt.Errorf("deffmt: component %s has no PLACED/FIXED location", stmt[1])
+	}
+	layer, datatype, w, h, err := parseMaster(master, sr.hdr.Sites)
+	if err != nil {
+		return layio.Shape{}, err
+	}
+	return layio.Shape{
+		Layer:    layer,
+		Datatype: datatype,
+		Rect:     geom.Rect{XL: x, YL: y, XH: x + w, YH: y + h},
+	}, nil
+}
+
+// parseMaster recovers a component's layer, datatype and size from its
+// master name per the package's naming convention.
+func parseMaster(master string, sg *layout.SiteGrid) (layer, datatype int, w, h int64, err error) {
+	// Explicit form: W<l>_<w>x<h> or F<l>_<w>x<h>.
+	if len(master) >= 2 && (master[0] == 'W' || master[0] == 'F') && master[1] >= '0' && master[1] <= '9' {
+		rest := master[1:]
+		us := strings.IndexByte(rest, '_')
+		xs := strings.IndexByte(rest, 'x')
+		if us > 0 && xs > us {
+			l, e1 := strconv.Atoi(rest[:us])
+			wv, e2 := strconv.ParseInt(rest[us+1:xs], 10, 64)
+			hv, e3 := strconv.ParseInt(rest[xs+1:], 10, 64)
+			if e1 == nil && e2 == nil && e3 == nil && l >= 0 && wv > 0 && hv > 0 {
+				dt := layio.DatatypeWire
+				if master[0] == 'F' {
+					dt = layio.DatatypeFill
+				}
+				return l, dt, wv, hv, nil
+			}
+		}
+	}
+	// Filler form: <prefix>X<sites>, one row tall.
+	if xi := strings.LastIndexByte(master, 'X'); xi > 0 && xi < len(master)-1 {
+		if sites, e := strconv.ParseInt(master[xi+1:], 10, 64); e == nil && sites > 0 {
+			if sg == nil {
+				return 0, 0, 0, 0, fmt.Errorf("deffmt: filler master %q needs ROW statements to size", master)
+			}
+			return 0, layio.DatatypeFill, sites * sg.SiteW, sg.RowH, nil
+		}
+	}
+	return 0, 0, 0, 0, fmt.Errorf("deffmt: master %q does not encode geometry (want W<l>_<w>x<h>, F<l>_<w>x<h> or <prefix>X<sites>)", master)
+}
+
+// parseRow parses "ROW name site x y orient [DO nx BY ny [STEP sx sy]]".
+func parseRow(stmt []string) (rowRec, error) {
+	if len(stmt) < 5 {
+		return rowRec{}, fmt.Errorf("deffmt: truncated ROW %v", stmt)
+	}
+	n, err := ints(stmt[3:5])
+	if err != nil {
+		return rowRec{}, fmt.Errorf("deffmt: bad ROW origin in %v", stmt)
+	}
+	rec := rowRec{x: n[0], y: n[1], nx: 1, ny: 1}
+	for i := 5; i < len(stmt); i++ {
+		switch stmt[i] {
+		case "DO":
+			if i+3 >= len(stmt) || stmt[i+2] != "BY" {
+				return rowRec{}, fmt.Errorf("deffmt: malformed DO/BY in %v", stmt)
+			}
+			c, err := ints([]string{stmt[i+1], stmt[i+3]})
+			if err != nil {
+				return rowRec{}, fmt.Errorf("deffmt: bad DO/BY counts in %v", stmt)
+			}
+			rec.nx, rec.ny = c[0], c[1]
+		case "STEP":
+			if i+2 >= len(stmt) {
+				return rowRec{}, fmt.Errorf("deffmt: malformed STEP in %v", stmt)
+			}
+			c, err := ints(stmt[i+1 : i+3])
+			if err != nil {
+				return rowRec{}, fmt.Errorf("deffmt: bad STEP values in %v", stmt)
+			}
+			rec.sx, rec.sy = c[0], c[1]
+		}
+	}
+	if rec.nx > 1 && rec.sx == 0 {
+		return rowRec{}, fmt.Errorf("deffmt: ROW repeats %d sites without STEP in %v", rec.nx, stmt)
+	}
+	if rec.sx == 0 {
+		rec.sx = 1 // single-site row: pitch is irrelevant but must be positive
+	}
+	return rec, nil
+}
+
+// nextStmt assembles the next ';'-terminated statement (or a bare END
+// line) from the token stream, dropping '(' and ')' — parentheses only
+// group coordinates in this subset. Comments run '#' to end of line.
+func (sr *shapeReader) nextStmt() ([]string, error) {
+	sr.stmt = sr.stmt[:0]
+	for {
+		// Drain carried-over tokens first.
+		for len(sr.queue) > 0 {
+			tok := sr.queue[0]
+			sr.queue = sr.queue[1:]
+			if tok == ";" {
+				if len(sr.stmt) == 0 {
+					continue // stray semicolon
+				}
+				return sr.stmt, nil
+			}
+			sr.stmt = append(sr.stmt, tok)
+			if len(sr.stmt) == 1 && tok == "END" {
+				// END sections have no ';': take the rest of the line.
+				sr.stmt = append(sr.stmt, sr.queue...)
+				sr.queue = sr.queue[:0]
+				return sr.stmt, nil
+			}
+		}
+		if !sr.sc.Scan() {
+			if err := sr.sc.Err(); err != nil {
+				return nil, fmt.Errorf("deffmt: %w", err)
+			}
+			if len(sr.stmt) > 0 {
+				return nil, fmt.Errorf("deffmt: unterminated statement %v", sr.stmt)
+			}
+			return nil, io.EOF
+		}
+		sr.records++
+		if sr.lim.MaxRecords > 0 && sr.records > sr.lim.MaxRecords {
+			return nil, fmt.Errorf("deffmt: %w: %d lines", layio.ErrLimit, sr.records)
+		}
+		line := sr.sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		for _, tok := range strings.Fields(line) {
+			// Separate a trailing ';' glued to a token.
+			semi := false
+			if len(tok) > 1 && strings.HasSuffix(tok, ";") {
+				tok, semi = tok[:len(tok)-1], true
+			}
+			if tok != "(" && tok != ")" {
+				sr.queue = append(sr.queue, tok)
+			}
+			if semi {
+				sr.queue = append(sr.queue, ";")
+			}
+		}
+	}
+}
+
+// ints parses a token slice as int64s, rejecting any non-numeric token.
+func ints(toks []string) ([]int64, error) {
+	out := make([]int64, 0, len(toks))
+	for _, t := range toks {
+		v, err := strconv.ParseInt(t, 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

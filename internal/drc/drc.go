@@ -22,6 +22,9 @@ const (
 	KindSpacing
 	KindOutsideRegion
 	KindWireSpacing
+	KindSiteAlign
+	KindMasterWidth
+	KindPadding
 )
 
 func (k Kind) String() string {
@@ -38,6 +41,12 @@ func (k Kind) String() string {
 		return "outside-fill-region"
 	case KindWireSpacing:
 		return "wire-spacing"
+	case KindSiteAlign:
+		return "site-alignment"
+	case KindMasterWidth:
+		return "master-width"
+	case KindPadding:
+		return "site-padding"
 	default:
 		return "unknown"
 	}
@@ -113,6 +122,57 @@ func Check(lay *layout.Layout, sol *layout.Solution, checkRegions bool) []Violat
 				if rix.OverlapArea(f) != f.Area() {
 					out = append(out, Violation{KindOutsideRegion, li, f, geom.Rect{}})
 				}
+			}
+		}
+	}
+	return out
+}
+
+// CheckSites verifies a site-mode (filler-cell placement) solution
+// against the layout's placement lattice: every fill must be a legal
+// site-grid shape (one row tall, edges on site boundaries, inside the
+// lattice), its width must be a library master, and it must keep at
+// least pad empty sites of horizontal clearance to every same-row wire
+// (the placement padding rule). lib nil means the default library.
+// Geometric overlap rules are CheckSites' complement, not its subject —
+// run Check too (site layouts use MinSpace 0, under which only true
+// overlaps violate spacing).
+func CheckSites(lay *layout.Layout, sol *layout.Solution, lib *layout.FillLib, pad int) []Violation {
+	var out []Violation
+	sg := lay.Sites
+	if sg == nil {
+		return []Violation{{Kind: KindSiteAlign, Layer: -1}}
+	}
+	if lib == nil {
+		lib = layout.DefaultFillLib()
+	}
+	keep := int64(pad) * sg.SiteW
+	perLayer := sol.PerLayer(len(lay.Layers))
+	for li, fills := range perLayer {
+		wix := geom.NewIndex(lay.Die, 0)
+		for _, w := range lay.Layers[li].Wires {
+			wix.Insert(w)
+		}
+		for _, f := range fills {
+			if !sg.Aligned(f) {
+				out = append(out, Violation{KindSiteAlign, li, f, geom.Rect{}})
+				continue
+			}
+			if sites := f.W() / sg.SiteW; lib.WidthFor(sites) != sites {
+				out = append(out, Violation{KindMasterWidth, li, f, geom.Rect{}})
+			}
+			if keep > 0 {
+				v := f
+				wix.Query(f.Expand(keep), func(_ int, w geom.Rect) bool {
+					if w.YL >= f.YH || w.YH <= f.YL {
+						return true // different row: padding is horizontal only
+					}
+					if gx, _ := f.Gap(w); gx < keep {
+						out = append(out, Violation{KindPadding, li, v, w})
+						return false
+					}
+					return true
+				})
 			}
 		}
 	}

@@ -1,0 +1,98 @@
+package drc
+
+import (
+	"testing"
+
+	"dummyfill/internal/geom"
+	"dummyfill/internal/layout"
+)
+
+// siteLayout is a 4-row, 20-site lattice with one placed cell occupying
+// sites 10–13 of the bottom row.
+func siteLayout() *layout.Layout {
+	return &layout.Layout{
+		Name:   "sites",
+		Die:    geom.R(0, 0, 200, 200),
+		Window: 100,
+		Rules:  layout.Rules{MinWidth: 1, MinSpace: 0, MinArea: 1},
+		Sites:  &layout.SiteGrid{SiteW: 10, RowH: 50, Rows: 4, Sites: 20},
+		Layers: []*layout.Layer{{
+			Wires: []geom.Rect{geom.R(100, 0, 140, 50)},
+			FillRegions: []geom.Rect{
+				geom.R(0, 0, 100, 50), geom.R(140, 0, 200, 50), geom.R(0, 50, 200, 200),
+			},
+		}},
+	}
+}
+
+func TestCheckSitesClean(t *testing.T) {
+	lay := siteLayout()
+	sol := fills(geom.R(0, 0, 20, 50), geom.R(20, 0, 60, 50), geom.R(150, 100, 160, 150))
+	if vs := CheckSites(lay, sol, nil, 0); len(vs) != 0 {
+		t.Fatalf("clean site solution flagged: %v", vs)
+	}
+	// Abutting fillers are also legal under the geometric rules
+	// (MinSpace 0 means only true overlaps violate spacing).
+	if vs := Check(lay, sol, true); len(vs) != 0 {
+		t.Fatalf("clean site solution flagged geometrically: %v", vs)
+	}
+}
+
+func TestCheckSitesNoLattice(t *testing.T) {
+	lay := siteLayout()
+	lay.Sites = nil
+	vs := CheckSites(lay, fills(), nil, 0)
+	if len(vs) != 1 || vs[0].Kind != KindSiteAlign || vs[0].Layer != -1 {
+		t.Fatalf("want one layer -1 site-alignment violation, got %v", vs)
+	}
+}
+
+func TestCheckSitesAlignment(t *testing.T) {
+	lay := siteLayout()
+	for _, f := range []geom.Rect{
+		geom.R(5, 0, 25, 50),    // x off the site pitch
+		geom.R(0, 10, 20, 60),   // y off the row pitch
+		geom.R(0, 0, 20, 40),    // not one row tall
+		geom.R(0, 150, 20, 250), // above the lattice
+	} {
+		vs := CheckSites(lay, fills(f), nil, 0)
+		if kinds(vs)[KindSiteAlign] != 1 {
+			t.Errorf("fill %v: want a site-alignment violation, got %v", f, vs)
+		}
+	}
+}
+
+func TestCheckSitesMasterWidth(t *testing.T) {
+	lay := siteLayout()
+	// 3 sites wide: aligned, but FILL_X{1,2,4,…} has no 3-site master.
+	vs := CheckSites(lay, fills(geom.R(0, 0, 30, 50)), nil, 0)
+	if kinds(vs)[KindMasterWidth] != 1 {
+		t.Fatalf("want a master-width violation, got %v", vs)
+	}
+	// A library that does stock 3-site fillers accepts it.
+	lib := &layout.FillLib{Prefix: "FILL_X", Widths: []int64{1, 2, 3}}
+	if vs := CheckSites(lay, fills(geom.R(0, 0, 30, 50)), lib, 0); len(vs) != 0 {
+		t.Fatalf("custom library still flagged: %v", vs)
+	}
+}
+
+func TestCheckSitesPadding(t *testing.T) {
+	lay := siteLayout()
+	abut := fills(geom.R(80, 0, 100, 50))  // touches the cell at x=100
+	spaced := fills(geom.R(70, 0, 90, 50)) // one empty site of clearance
+	if vs := CheckSites(lay, abut, nil, 0); len(vs) != 0 {
+		t.Fatalf("pad 0 flagged an abutting filler: %v", vs)
+	}
+	vs := CheckSites(lay, abut, nil, 1)
+	if kinds(vs)[KindPadding] != 1 {
+		t.Fatalf("pad 1: want a padding violation for %v, got %v", abut.Fills[0], vs)
+	}
+	if vs := CheckSites(lay, spaced, nil, 1); len(vs) != 0 {
+		t.Fatalf("pad 1 flagged a spaced filler: %v", vs)
+	}
+	// Padding is horizontal, same-row only: a filler directly above the
+	// cell is legal at any pad.
+	if vs := CheckSites(lay, fills(geom.R(100, 50, 140, 100)), nil, 2); len(vs) != 0 {
+		t.Fatalf("pad 2 flagged a filler in the row above: %v", vs)
+	}
+}

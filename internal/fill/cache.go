@@ -143,6 +143,7 @@ func (e *Engine) cacheFingerprint() fillcache.Key {
 	h.Int64(int64(o.MaxSizingPasses))
 	h.Float64(o.MaxAspect)
 	h.String(solverID(o))
+	h.String(e.mode.cacheID())
 	return h.Sum()
 }
 
@@ -181,6 +182,7 @@ func (e *Engine) windowKey(fp fillcache.Key, w *window, ks *keyScratch) fillcach
 		}
 		h.Int64(wl.wireArea)
 	}
+	e.mode.windowKeyExtra(w, h)
 	return h.Sum()
 }
 
@@ -281,7 +283,7 @@ func (e *Engine) cacheResolve(ctx context.Context, wins []*window, cs *cacheStat
 	}
 	return e.parallelForStage(ctx, len(stale), "candgen", func(_ context.Context, i int) error {
 		w := wins[stale[i]]
-		w.selectCandidates(e.lay, cs.td1, e.opts.Lambda, e.opts.Gamma)
+		e.mode.selectCandidates(w, cs.td1)
 		for li := range w.layers {
 			w.layers[li].free = nil
 		}

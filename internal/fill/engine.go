@@ -21,6 +21,7 @@ type Engine struct {
 	lay  *layout.Layout
 	opts Options
 	g    *grid.Grid
+	mode fillMode
 }
 
 // Result is the outcome of a full engine run.
@@ -65,7 +66,11 @@ func New(lay *layout.Layout, opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Engine{lay: lay, opts: opts, g: g}, nil
+	e := &Engine{lay: lay, opts: opts, g: g}
+	if e.mode, err = newFillMode(e); err != nil {
+		return nil, err
+	}
+	return e, nil
 }
 
 // Run executes the flow: prepare windows → density planning → candidate
@@ -228,11 +233,12 @@ func (e *Engine) prepareWindows(ctx context.Context) ([]*window, error) {
 
 	// Free-region pieces (and hence the cells tiled from them) may abut:
 	// Difference-slab decomposition splits regions into touching slabs and
-	// window clipping cuts regions at window borders. Insetting every
-	// window-clipped piece by half the minimum spacing makes all cells
-	// pairwise legal from birth — including across window boundaries,
-	// which the per-window sizing LP could not repair.
-	inset := (e.lay.Rules.MinSpace + 1) / 2
+	// window clipping cuts regions at window borders. The mode's clipFree
+	// applies its legality margin to every window-clipped piece (rect mode
+	// insets by half the minimum spacing; site mode shrinks by the padding
+	// keepout) so cells placed in it are pairwise legal from birth —
+	// including across window boundaries, which per-window sizing could
+	// not repair.
 
 	// Stripe tasks: task t covers layer t/ny, window row t%ny.
 	err := e.parallelForStage(ctx, nl*ny, "prep", func(_ context.Context, t int) error {
@@ -272,7 +278,7 @@ func (e *Engine) prepareWindows(ctx context.Context) ([]*window, error) {
 				continue
 			}
 			for i := i0; i <= i1; i++ {
-				clip := fr.Intersect(wins[j*nx+i].rect).Expand(-inset)
+				clip := e.mode.clipFree(fr, wins[j*nx+i].rect)
 				if clip.Empty() {
 					continue
 				}

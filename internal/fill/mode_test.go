@@ -1,0 +1,84 @@
+package fill
+
+import (
+	"strings"
+	"testing"
+
+	"dummyfill/internal/synth"
+)
+
+// TestNewFillModeValidation covers the mode resolver's error surface:
+// unknown mode names, site mode on a lattice-free layout, and negative
+// padding must all fail engine construction with a telling error.
+func TestNewFillModeValidation(t *testing.T) {
+	row, err := synth.Generate(synth.DesignRow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := synth.Generate(synth.DesignTiny())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := DefaultOptions()
+	opts.Mode = "hexagonal"
+	if _, err := New(row, opts); err == nil || !strings.Contains(err.Error(), "hexagonal") {
+		t.Errorf("unknown mode: got %v, want an error naming the mode", err)
+	}
+
+	opts = DefaultOptions()
+	opts.Mode = ModeSite
+	if _, err := New(flat, opts); err == nil {
+		t.Error("site mode accepted a layout without a site lattice")
+	}
+
+	opts = DefaultOptions()
+	opts.Mode = ModeSite
+	opts.SitePad = -1
+	if _, err := New(row, opts); err == nil {
+		t.Error("site mode accepted negative padding")
+	}
+
+	for _, name := range []string{"", ModeRect} {
+		opts = DefaultOptions()
+		opts.Mode = name
+		if _, err := New(row, opts); err != nil {
+			t.Errorf("mode %q: %v", name, err)
+		}
+	}
+	opts = DefaultOptions()
+	opts.Mode = ModeSite
+	if _, err := New(row, opts); err != nil {
+		t.Errorf("site mode on the row design: %v", err)
+	}
+}
+
+// TestModeCacheIDs checks that the cache identity separates what must
+// never share entries: rect vs site results, and site results under
+// different paddings (padding changes the legal free space).
+func TestModeCacheIDs(t *testing.T) {
+	row, err := synth.Generate(synth.DesignRow())
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := func(mode string, pad int) string {
+		opts := DefaultOptions()
+		opts.Mode = mode
+		opts.SitePad = pad
+		e, err := New(row, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.mode.cacheID()
+	}
+	rect, site0, site1 := id(ModeRect, 0), id(ModeSite, 0), id(ModeSite, 1)
+	if rect == site0 {
+		t.Errorf("rect and site modes share cache identity %q", rect)
+	}
+	if site0 == site1 {
+		t.Errorf("site pads 0 and 1 share cache identity %q", site0)
+	}
+	if id(ModeSite, 1) != site1 {
+		t.Error("site cache identity is not deterministic")
+	}
+}

@@ -10,11 +10,28 @@ import (
 	"dummyfill/internal/dlp"
 	"dummyfill/internal/faultinject"
 	"dummyfill/internal/fillcache"
+	"dummyfill/internal/layout"
 )
 
 // Options tune the engine. The zero value is not usable; start from
 // DefaultOptions.
 type Options struct {
+	// Mode selects the fill-mode strategy. ModeRect (also the empty
+	// string) is the paper's continuous mode: rectangles tiled from free
+	// space, shrunk continuously by the sizing LP. ModeSite is filler-cell
+	// placement: candidates snap to the layout's placement rows/sites and
+	// widths come from the discrete SiteLib master library; it requires
+	// Layout.Sites. Both modes share the planner, reorder buffer and
+	// emitters, so the byte-identical determinism contract holds for each.
+	Mode string
+	// SitePad is the site-mode padding constraint, in sites: fillers keep
+	// at least SitePad empty sites between themselves and any placed cell
+	// or wire on the same row (OpenROAD's filler padding). Ignored by
+	// ModeRect.
+	SitePad int
+	// SiteLib is the site-mode filler master library (nil = the
+	// power-of-two DefaultFillLib). Ignored by ModeRect.
+	SiteLib *layout.FillLib
 	// Lambda is the candidate overfill factor λ ≥ 1 of Alg. 1: candidates
 	// are generated until each window reaches λ·(target density).
 	Lambda float64

@@ -117,7 +117,7 @@ func (e *Engine) assembleBounds(ctx context.Context, wins []*window, sh []shard,
 						// Closed-form tileable area per free piece — no
 						// cell materialization.
 						for _, fr := range wl.free {
-							fillable += TileRegionArea(fr, e.lay.Rules)
+							fillable += e.mode.fillableArea(fr)
 						}
 					}
 					bounds[li].Lower.V[k] = float64(wl.wireArea) / aw

@@ -119,7 +119,7 @@ func (e *Engine) runPipeline(ctx context.Context, sink Sink) (*Result, error) {
 		if cst.selValid(k) {
 			return nil
 		}
-		w.selectCandidates(e.lay, plan1.Td, e.opts.Lambda, e.opts.Gamma)
+		e.mode.selectCandidates(w, plan1.Td)
 		for li := range w.layers {
 			w.layers[li].free = nil
 		}
@@ -210,7 +210,7 @@ func (e *Engine) produceWindow(ctx context.Context, k int, wins []*window, td []
 		return nil, nil
 	}
 	targets := e.windowTargets(w, td, sc)
-	cs, cacheable, err := e.sizeWindowResilient(ctx, k, w, targets, sc, hc, start)
+	cs, cacheable, err := e.mode.sizeWindow(ctx, k, w, targets, sc, hc, start)
 	if err != nil {
 		return nil, err
 	}

@@ -130,6 +130,9 @@ func FromShapes(sr layio.ShapeReader, opts Options) (*layout.Layout, error) {
 	b := layout.NewBuilder().
 		SetName(hdr.Name).SetDie(die).SetWindow(window).SetRules(rules).
 		EnsureLayers(numLayers)
+	if hdr.Sites != nil {
+		b.SetSites(*hdr.Sites)
+	}
 	at := func(sl [][]geom.Rect, li int) []geom.Rect {
 		if li < len(sl) {
 			return sl[li]

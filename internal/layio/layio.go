@@ -59,6 +59,16 @@ type Header struct {
 	Rules         layout.Rules
 	NumLayers     int
 	HasLayoutMeta bool
+	// Sites is the standard-cell placement lattice for formats that carry
+	// one (DEF ROW statements). Readers populate it alongside the shape
+	// stream; the DEF writer needs it to emit ROWs and to name
+	// site-aligned filler masters. Nil for formats without row/site
+	// geometry.
+	Sites *layout.SiteGrid
+	// FillLib names the filler master library used for site-aligned fills
+	// on output (DEF); nil uses layout.DefaultFillLib. Formats without
+	// master naming ignore it.
+	FillLib *layout.FillLib
 }
 
 // ErrLimit is wrapped by reader errors when an input stream exceeds a

@@ -32,6 +32,12 @@ type Format struct {
 	// layout metadata (die, window, fill rules) so ingest need not be
 	// given any. True for the text format, false for the binary ones.
 	CarriesMeta bool
+	// Priority orders Detect: higher-priority formats sniff first.
+	// Keyword-text formats with specific magic (DEF) register above the
+	// permissive default 0 so a generic text sniffer — which claims any
+	// comment-leading stream — cannot shadow them. Ties keep registration
+	// order.
+	Priority int
 }
 
 // SniffLen is how many leading bytes Detect implementations may
@@ -58,6 +64,9 @@ func Register(f Format) {
 		}
 	}
 	formats = append(formats, f)
+	sort.SliceStable(formats, func(i, j int) bool {
+		return formats[i].Priority > formats[j].Priority
+	})
 }
 
 // Formats returns the registered format names, sorted.

@@ -59,6 +59,15 @@ func (b *Builder) SetRules(r Rules) *Builder {
 	return b
 }
 
+// SetSites sets the standard-cell placement lattice.
+func (b *Builder) SetSites(s SiteGrid) *Builder {
+	if b.err == nil {
+		sites := s
+		b.lay.Sites = &sites
+	}
+	return b
+}
+
 // EnsureLayers grows the layer stack to at least n layers.
 func (b *Builder) EnsureLayers(n int) *Builder {
 	if b.err != nil {

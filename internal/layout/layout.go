@@ -56,6 +56,10 @@ type Layout struct {
 	Window int64 // window size for density analysis
 	Rules  Rules
 	Layers []*Layer
+	// Sites is the standard-cell placement lattice, when the layout has
+	// one (DEF ingest, the synthetic row design). Required by the
+	// site-grid fill mode; nil for pure continuous-rect layouts.
+	Sites *SiteGrid
 }
 
 // Validate checks structural consistency: shapes inside the die, fill
@@ -72,6 +76,11 @@ func (l *Layout) Validate() error {
 	}
 	if len(l.Layers) == 0 {
 		return fmt.Errorf("layout: no layers")
+	}
+	if l.Sites != nil {
+		if err := l.Sites.Validate(); err != nil {
+			return err
+		}
 	}
 	for li, layer := range l.Layers {
 		ix := geom.NewIndex(l.Die, 0)

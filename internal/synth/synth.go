@@ -36,6 +36,15 @@ type Spec struct {
 	// BetaRuntime/BetaMemory are the runtime/memory score scales (the
 	// other βs are calibrated from the generated layout).
 	BetaRuntime, BetaMemory float64
+	// Sites, when non-nil, makes the design row-based: instead of
+	// clustered wiring, the generator places standard-cell-like blocks
+	// snapped to this lattice and the layout carries the site grid — the
+	// input shape of the site fill mode. Clusters/WireWidth/MeanWireLen
+	// are ignored for row-based designs.
+	Sites *layout.SiteGrid
+	// RowUtil is the mean row utilization of a row-based design (fraction
+	// of sites occupied by placed cells, before the row-gradient skew).
+	RowUtil float64
 }
 
 // The three designs mirror Table 2's s/b/m at laptop scale: the shape
@@ -86,22 +95,42 @@ func DesignTiny() Spec {
 	}
 }
 
+// DesignRow is the row-based placement design for the site fill mode: a
+// single placement layer of cells snapped to a lattice that exactly
+// covers the die, with a bottom-to-top utilization gradient so the
+// density planner has real work. MinSpace is 0 — abutting fillers are
+// legal on a placement lattice — and the rules admit the smallest
+// default-library filler (1 site × 1 row).
+func DesignRow() Spec {
+	return Spec{
+		Name: "row", Seed: 5005,
+		DieSize: 6000, Window: 600, NumLayer: 1,
+		Rules:       layout.Rules{MinWidth: 10, MinSpace: 0, MinArea: 1200, MaxFillDim: 400},
+		Sites:       &layout.SiteGrid{SiteW: 10, RowH: 120, Rows: 50, Sites: 600},
+		RowUtil:     0.55,
+		BetaRuntime: 2, BetaMemory: 512,
+	}
+}
+
 // Designs returns the three standard designs in contest order.
 func Designs() []Spec { return []Spec{DesignS(), DesignB(), DesignM()} }
 
 // ByName resolves a design name.
 func ByName(name string) (Spec, error) {
-	for _, s := range append(Designs(), DesignTiny()) {
+	for _, s := range append(Designs(), DesignTiny(), DesignRow()) {
 		if s.Name == name {
 			return s, nil
 		}
 	}
-	return Spec{}, fmt.Errorf("synth: unknown design %q (have s, b, m, tiny)", name)
+	return Spec{}, fmt.Errorf("synth: unknown design %q (have s, b, m, row, tiny)", name)
 }
 
 // Generate builds the layout of a spec. Generation is deterministic for a
 // given spec.
 func Generate(sp Spec) (*layout.Layout, error) {
+	if sp.Sites != nil {
+		return generateRow(sp)
+	}
 	if sp.DieSize <= 0 || sp.NumLayer <= 0 || sp.WiresPerLayer <= 0 {
 		return nil, fmt.Errorf("synth: invalid spec %+v", sp)
 	}
@@ -125,6 +154,64 @@ func Generate(sp Spec) (*layout.Layout, error) {
 		layer.FillRegions = freeRegions(g, layer.Wires, sp.Rules, li%2 == 1)
 		lay.Layers = append(lay.Layers, layer)
 	}
+	if err := lay.Validate(); err != nil {
+		return nil, fmt.Errorf("synth: generated invalid layout: %v", err)
+	}
+	return lay, nil
+}
+
+// generateRow builds a row-based design: per placement row, an
+// alternation of random gaps and placed cells, all snapped to the
+// lattice. Gap sizes grow with the row index so the lower rows are
+// dense and the upper sparse — a density gradient the planner must
+// equalize. The free regions are the exact complement of the placed
+// cells (MinSpace 0), decomposed into horizontal slabs that align with
+// the row gaps.
+func generateRow(sp Spec) (*layout.Layout, error) {
+	if sp.DieSize <= 0 || sp.RowUtil <= 0 || sp.RowUtil >= 1 {
+		return nil, fmt.Errorf("synth: invalid row spec %+v", sp)
+	}
+	sg := *sp.Sites
+	if err := sg.Validate(); err != nil {
+		return nil, err
+	}
+	die := geom.R(0, 0, sp.DieSize, sp.DieSize)
+	lay := &layout.Layout{
+		Name:   sp.Name,
+		Die:    die,
+		Window: sp.Window,
+		Rules:  sp.Rules,
+		Sites:  &sg,
+	}
+	g, err := grid.New(die, sp.Window)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(sp.Seed))
+	// Mean cell width (sites) and the gap mean that hits RowUtil.
+	const minCell, cellSpread = 4, 37 // widths 4..40, mean 22
+	meanCell := float64(minCell) + float64(cellSpread-1)/2
+	meanGap := meanCell * (1 - sp.RowUtil) / sp.RowUtil
+	layer := &layout.Layer{}
+	for j := 0; j < sg.Rows; j++ {
+		// Utilization gradient: gaps stretch toward the top rows.
+		scale := 0.4 + 1.6*float64(j)/float64(sg.Rows)
+		maxGap := int(2*meanGap*scale) + 1
+		for x := 0; x < sg.Sites; {
+			x += 1 + rng.Intn(maxGap)
+			w := minCell + rng.Intn(cellSpread)
+			if x+w > sg.Sites {
+				break
+			}
+			layer.Wires = append(layer.Wires, geom.Rect{
+				XL: sg.SiteX(x), YL: sg.RowY(j),
+				XH: sg.SiteX(x + w), YH: sg.RowY(j) + sg.RowH,
+			})
+			x += w
+		}
+	}
+	layer.FillRegions = freeRegions(g, layer.Wires, sp.Rules, false)
+	lay.Layers = append(lay.Layers, layer)
 	if err := lay.Validate(); err != nil {
 		return nil, fmt.Errorf("synth: generated invalid layout: %v", err)
 	}

@@ -134,6 +134,14 @@ func TestCrossFormatRoundTrip(t *testing.T) {
 			err := dummyfill.WriteTextLayout(&buf, l)
 			return buf.Bytes(), err
 		},
+		// DEF encodes every wire as a placed component whose master name
+		// carries its geometry, so arbitrary multi-layer layouts survive
+		// the single-layer placement grammar.
+		"def": func(l *dummyfill.Layout) ([]byte, error) {
+			var buf bytes.Buffer
+			err := dummyfill.WriteDEFLayout(&buf, l, nil)
+			return buf.Bytes(), err
+		},
 	}
 	for _, format := range dummyfill.Formats() {
 		format := format
