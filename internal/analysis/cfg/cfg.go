@@ -1,0 +1,412 @@
+// Package cfg builds intraprocedural control-flow graphs over go/ast
+// function bodies and runs small worklist dataflow analyses on them. It
+// is the substrate under the dataflow analyzers in internal/analysis
+// (lockguard's must-hold lock tracking, errsink's reaching-definitions
+// dead-error detection): stdlib-only, statement-granular, and built for
+// the shapes that actually occur in this module's engine and serving
+// code — branches, loops, switch/select, labeled break/continue, goto,
+// defer — rather than full language generality.
+//
+// A Graph is a list of basic blocks. Each block holds the statements and
+// control expressions that execute in it, in execution order; nested
+// function literals are NOT part of the enclosing graph (they are
+// separate function bodies with graphs of their own; see the funcBodies
+// walker in internal/analysis). Two nodes are special:
+//
+//   - a *ast.RangeStmt appearing in a block's node list stands for the
+//     loop head only — evaluating the ranged expression and binding the
+//     key/value variables for one iteration. Its body belongs to other
+//     blocks. Walk such nodes with WalkNode, never raw ast.Inspect.
+//   - a *ast.DeferStmt is recorded where it executes (the deferred call's
+//     arguments are evaluated there), and additionally collected in
+//     Graph.Defers: the calls themselves run at function exit.
+package cfg
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// Block is one basic block.
+type Block struct {
+	// Index is the block's position in Graph.Blocks.
+	Index int
+	// Kind names what created the block ("entry", "if.then", "for.head",
+	// ...) for tests and debug dumps.
+	Kind string
+	// Nodes are the statements and control expressions executed in the
+	// block, in order.
+	Nodes []ast.Node
+	// Succs are the indices of successor blocks.
+	Succs []int
+	// Live reports whether the block is reachable from the entry block.
+	Live bool
+}
+
+// Graph is the CFG of one function body.
+type Graph struct {
+	Blocks []*Block
+	// Entry and Exit index the synthetic entry and exit blocks. Every
+	// return statement has an edge to Exit, as does the fall-off end of
+	// the body.
+	Entry, Exit int
+	// Defers lists the defer statements of the body in source order;
+	// their calls run at every path into Exit, in reverse order.
+	Defers []*ast.DeferStmt
+}
+
+// New builds the CFG of one function body.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	entry := b.newBlock("entry")
+	exit := b.newBlock("exit")
+	b.g.Entry, b.g.Exit = entry.Index, exit.Index
+	b.cur = entry
+	b.labels = map[string]*Block{}
+	b.buildStmt(body)
+	b.edge(b.cur, b.block(b.g.Exit))
+	b.markLive()
+	return b.g
+}
+
+func (g *Graph) block(i int) *Block { return g.Blocks[i] }
+
+// String renders the graph for debugging and golden tests.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	for _, blk := range g.Blocks {
+		fmt.Fprintf(&sb, "b%d(%s)", blk.Index, blk.Kind)
+		if !blk.Live {
+			sb.WriteString(" dead")
+		}
+		sb.WriteString(" ->")
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&sb, " b%d", s)
+		}
+		fmt.Fprintf(&sb, " [%d nodes]\n", len(blk.Nodes))
+	}
+	return sb.String()
+}
+
+// WalkNode walks one block node, calling fn in pre-order exactly like
+// ast.Inspect, with two exceptions that keep block nodes disjoint: for a
+// *ast.RangeStmt node it walks only the key, value and ranged expression
+// (the loop head), and it never descends into nested *ast.FuncLit bodies
+// (they are separate function bodies). fn returning false prunes the
+// subtree, as with ast.Inspect.
+func WalkNode(n ast.Node, fn func(ast.Node) bool) {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		if !fn(r) {
+			return
+		}
+		for _, sub := range []ast.Expr{r.Key, r.Value, r.X} {
+			if sub != nil {
+				WalkNode(sub, fn)
+			}
+		}
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if m == nil {
+			return true
+		}
+		if lit, ok := m.(*ast.FuncLit); ok && lit != n {
+			return false
+		}
+		return fn(m)
+	})
+}
+
+// builder holds the under-construction graph and the control context.
+type builder struct {
+	g   *builderGraph
+	cur *Block
+	// frames is the stack of enclosing breakable/continuable constructs.
+	frames []frame
+	labels map[string]*Block
+	// pendingLabel is the label naming the NEXT loop/switch/select frame
+	// (set by a LabeledStmt wrapping it).
+	pendingLabel string
+}
+
+type builderGraph = Graph
+
+// frame is one enclosing construct break/continue can target.
+type frame struct {
+	label      string
+	breakTo    *Block
+	continueTo *Block // nil for switch/select
+}
+
+func (b *builder) newBlock(kind string) *Block {
+	blk := &Block{Index: len(b.g.Blocks), Kind: kind}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) block(i int) *Block { return b.g.Blocks[i] }
+
+func (b *builder) edge(from, to *Block) {
+	for _, s := range from.Succs {
+		if s == to.Index {
+			return
+		}
+	}
+	from.Succs = append(from.Succs, to.Index)
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// startBlock switches construction to a fresh block with NO implicit
+// edge from the current one (used after terminating statements).
+func (b *builder) startBlock(kind string) {
+	b.cur = b.newBlock(kind)
+}
+
+// labelBlock returns (creating if needed) the block a label names, for
+// goto targets that may be defined after their first use.
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock("label." + name)
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) buildStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.buildStmt(st)
+		}
+	case *ast.IfStmt:
+		b.buildStmt(s.Init)
+		b.add(s.Cond)
+		cond := b.cur
+		then := b.newBlock("if.then")
+		b.edge(cond, then)
+		after := b.newBlock("if.done")
+		b.cur = then
+		b.buildStmt(s.Body)
+		b.edge(b.cur, after)
+		if s.Else != nil {
+			els := b.newBlock("if.else")
+			b.edge(cond, els)
+			b.cur = els
+			b.buildStmt(s.Else)
+			b.edge(b.cur, after)
+		} else {
+			b.edge(cond, after)
+		}
+		b.cur = after
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		b.buildStmt(s.Init)
+		head := b.newBlock("for.head")
+		b.edge(b.cur, head)
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+		}
+		body := b.newBlock("for.body")
+		post := b.newBlock("for.post")
+		after := b.newBlock("for.done")
+		b.edge(head, body)
+		if s.Cond != nil {
+			b.edge(head, after)
+		}
+		b.frames = append(b.frames, frame{label: label, breakTo: after, continueTo: post})
+		b.cur = body
+		b.buildStmt(s.Body)
+		b.edge(b.cur, post)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = post
+		b.buildStmt(s.Post)
+		b.edge(b.cur, head)
+		b.cur = after
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		head := b.newBlock("range.head")
+		b.edge(b.cur, head)
+		// The whole RangeStmt is the head node: one iteration's key/value
+		// binding plus the ranged expression. WalkNode keeps the body out.
+		head.Nodes = append(head.Nodes, s)
+		body := b.newBlock("range.body")
+		after := b.newBlock("range.done")
+		b.edge(head, body)
+		b.edge(head, after)
+		b.frames = append(b.frames, frame{label: label, breakTo: after, continueTo: head})
+		b.cur = body
+		b.buildStmt(s.Body)
+		b.edge(b.cur, head)
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = after
+	case *ast.SwitchStmt:
+		b.buildSwitch(s.Init, s.Tag, nil, s.Body)
+	case *ast.TypeSwitchStmt:
+		b.buildSwitch(s.Init, nil, s.Assign, s.Body)
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		head := b.cur
+		after := b.newBlock("select.done")
+		b.frames = append(b.frames, frame{label: label, breakTo: after})
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			blk := b.newBlock("select.case")
+			b.edge(head, blk)
+			b.cur = blk
+			b.buildStmt(comm.Comm) // nil for default
+			for _, st := range comm.Body {
+				b.buildStmt(st)
+			}
+			b.edge(b.cur, after)
+		}
+		b.frames = b.frames[:len(b.frames)-1]
+		// A select with no default blocks until a case is ready; every
+		// successor of head is a case, so there is no head->after edge.
+		b.cur = after
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.block(b.g.Exit))
+		b.startBlock("unreachable")
+	case *ast.BranchStmt:
+		b.buildBranch(s)
+	case *ast.LabeledStmt:
+		lb := b.labelBlock(s.Label.Name)
+		b.edge(b.cur, lb)
+		b.cur = lb
+		b.pendingLabel = s.Label.Name
+		b.buildStmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.DeferStmt:
+		b.add(s)
+		b.g.Defers = append(b.g.Defers, s)
+	default:
+		// Simple statements: assignments, declarations, expression and
+		// send statements, go statements, incdec, empty.
+		b.add(s)
+	}
+}
+
+// buildSwitch covers expression and type switches: init and tag/assign
+// evaluate in the head, every case clause gets a block, fallthrough
+// chains clause bodies, and a missing default adds a head->after edge.
+func (b *builder) buildSwitch(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	b.buildStmt(init)
+	if tag != nil {
+		b.add(tag)
+	}
+	b.buildStmt(assign)
+	head := b.cur
+	after := b.newBlock("switch.done")
+	hasDefault := false
+	b.frames = append(b.frames, frame{label: label, breakTo: after})
+	var clauses []*ast.CaseClause
+	var blocks []*Block
+	for _, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		clauses = append(clauses, cc)
+		blk := b.newBlock("switch.case")
+		b.edge(head, blk)
+		blocks = append(blocks, blk)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		ft := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok.String() == "fallthrough" {
+				ft = true
+				break
+			}
+			b.buildStmt(st)
+		}
+		if ft && i+1 < len(blocks) {
+			b.edge(b.cur, blocks[i+1])
+		} else {
+			b.edge(b.cur, after)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.cur = after
+}
+
+func (b *builder) buildBranch(s *ast.BranchStmt) {
+	switch s.Tok.String() {
+	case "break":
+		if t := b.findFrame(s.Label, false); t != nil {
+			b.edge(b.cur, t)
+		}
+		b.startBlock("unreachable")
+	case "continue":
+		if t := b.findFrame(s.Label, true); t != nil {
+			b.edge(b.cur, t)
+		}
+		b.startBlock("unreachable")
+	case "goto":
+		b.edge(b.cur, b.labelBlock(s.Label.Name))
+		b.startBlock("unreachable")
+	case "fallthrough":
+		// Handled by buildSwitch; a stray one terminates the block.
+		b.startBlock("unreachable")
+	}
+}
+
+// findFrame resolves a break (wantContinue false) or continue target,
+// optionally by label.
+func (b *builder) findFrame(label *ast.Ident, wantContinue bool) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if label != nil && f.label != label.Name {
+			continue
+		}
+		if wantContinue {
+			if f.continueTo != nil {
+				return f.continueTo
+			}
+			if label != nil {
+				return nil
+			}
+			continue
+		}
+		return f.breakTo
+	}
+	return nil
+}
+
+// markLive flags blocks reachable from the entry.
+func (b *builder) markLive() {
+	var stack []int
+	stack = append(stack, b.g.Entry)
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		blk := b.g.Blocks[i]
+		if blk.Live {
+			continue
+		}
+		blk.Live = true
+		stack = append(stack, blk.Succs...)
+	}
+}

@@ -1,0 +1,399 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses src (a complete file), type-checks it, and returns
+// the graph of the function named name plus the type info.
+func buildFunc(t *testing.T, src, name string) (*Graph, *types.Info, *ast.FuncDecl) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("type-checking: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return New(fd.Body), info, fd
+		}
+	}
+	t.Fatalf("no function %q", name)
+	return nil, nil, nil
+}
+
+// reachable collects the set of live block kinds.
+func kinds(g *Graph) map[string]int {
+	m := map[string]int{}
+	for _, b := range g.Blocks {
+		if b.Live {
+			m[b.Kind]++
+		}
+	}
+	return m
+}
+
+func TestBranches(t *testing.T) {
+	g, _, _ := buildFunc(t, `package p
+func f(a int) int {
+	x := 0
+	if a > 0 {
+		x = 1
+	} else if a < 0 {
+		x = -1
+	}
+	return x
+}`, "f")
+	k := kinds(g)
+	if k["if.then"] != 2 || k["if.else"] != 1 || k["if.done"] != 2 {
+		t.Fatalf("unexpected if structure: %v\n%s", k, g)
+	}
+	// The entry must reach the exit along both arms.
+	if !g.Blocks[g.Exit].Live {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestLoops(t *testing.T) {
+	g, _, _ := buildFunc(t, `package p
+func f(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		if i == 3 {
+			continue
+		}
+		if i == 9 {
+			break
+		}
+		s += i
+	}
+	for {
+		s--
+		if s < 0 {
+			return s
+		}
+	}
+}`, "f")
+	k := kinds(g)
+	if k["for.head"] != 2 || k["for.body"] != 2 {
+		t.Fatalf("unexpected loop structure: %v\n%s", k, g)
+	}
+	// The infinite loop's for.done is unreachable; the first loop's is
+	// reachable via cond-false and break.
+	dead := 0
+	for _, b := range g.Blocks {
+		if b.Kind == "for.done" && !b.Live {
+			dead++
+		}
+	}
+	if dead != 1 {
+		t.Fatalf("want exactly one dead for.done, got %d\n%s", dead, g)
+	}
+	// Back edges: each head must have an incoming edge from its post.
+	back := 0
+	for _, b := range g.Blocks {
+		if b.Kind != "for.post" {
+			continue
+		}
+		for _, s := range b.Succs {
+			if g.Blocks[s].Kind == "for.head" {
+				back++
+			}
+		}
+	}
+	if back != 2 {
+		t.Fatalf("want 2 back edges, got %d\n%s", back, g)
+	}
+}
+
+func TestLabeledBreakContinue(t *testing.T) {
+	g, _, _ := buildFunc(t, `package p
+func f(n int) int {
+	s := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == 1 {
+				continue outer
+			}
+			if j == 2 {
+				break outer
+			}
+			s++
+		}
+	}
+	return s
+}`, "f")
+	if !g.Blocks[g.Exit].Live {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	// continue outer must edge into the outer for.post, break outer into
+	// the outer for.done: both outer blocks have >= 2 predecessors.
+	preds := map[int]int{}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			preds[s]++
+		}
+	}
+	var outerPost, outerDone int
+	for _, b := range g.Blocks {
+		switch b.Kind {
+		case "for.post":
+			if outerPost == 0 {
+				outerPost = b.Index // first post allocated = outer loop
+			}
+		case "for.done":
+			if outerDone == 0 {
+				outerDone = b.Index
+			}
+		}
+	}
+	if preds[outerPost] < 2 {
+		t.Fatalf("continue outer not wired into outer post:\n%s", g)
+	}
+	if preds[outerDone] < 2 {
+		t.Fatalf("break outer not wired into outer done:\n%s", g)
+	}
+}
+
+func TestSelectAndSwitch(t *testing.T) {
+	g, _, _ := buildFunc(t, `package p
+func f(a chan int, b chan int, mode int) int {
+	switch mode {
+	case 0:
+		return -1
+	case 1:
+		mode = 2
+	default:
+		mode = 3
+	}
+	select {
+	case v := <-a:
+		return v
+	case b <- mode:
+		return 0
+	}
+}`, "f")
+	k := kinds(g)
+	if k["switch.case"] != 3 {
+		t.Fatalf("want 3 switch cases, got %v\n%s", k, g)
+	}
+	if k["select.case"] != 2 {
+		t.Fatalf("want 2 select cases, got %v\n%s", k, g)
+	}
+	// A select with no default never falls through: select.done must be
+	// unreachable here (both cases return).
+	for _, b := range g.Blocks {
+		if b.Kind == "select.done" && b.Live {
+			t.Fatalf("select.done reachable despite both cases returning:\n%s", g)
+		}
+	}
+}
+
+func TestDefersRecorded(t *testing.T) {
+	g, _, _ := buildFunc(t, `package p
+import "sync"
+func f(mu *sync.Mutex) int {
+	mu.Lock()
+	defer mu.Unlock()
+	x := 1
+	defer func() { x = 0 }()
+	return x
+}`, "f")
+	if len(g.Defers) != 2 {
+		t.Fatalf("want 2 recorded defers, got %d", len(g.Defers))
+	}
+	// Defer statements also appear as block nodes at their source point.
+	found := 0
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				found++
+			}
+		}
+	}
+	if found != 2 {
+		t.Fatalf("want 2 defer nodes in blocks, got %d", found)
+	}
+}
+
+func TestGoto(t *testing.T) {
+	g, _, _ := buildFunc(t, `package p
+func f(n int) int {
+	i := 0
+retry:
+	i++
+	if i < n {
+		goto retry
+	}
+	return i
+}`, "f")
+	if !g.Blocks[g.Exit].Live {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	// The label block must have two predecessors: fallthrough and goto.
+	preds := map[int]int{}
+	var label int
+	for _, b := range g.Blocks {
+		if strings.HasPrefix(b.Kind, "label.") {
+			label = b.Index
+		}
+		for _, s := range b.Succs {
+			preds[s]++
+		}
+	}
+	if preds[label] < 2 {
+		t.Fatalf("goto edge missing:\n%s", g)
+	}
+}
+
+// errVars tracks every variable whose type is error.
+func errVars(v *types.Var) bool {
+	return v.Type() != nil && v.Type().String() == "error"
+}
+
+func deadAt(t *testing.T, src, name string, liveAtExit bool) []Def {
+	t.Helper()
+	g, info, fd := buildFunc(t, src, name)
+	r := ReachingDefs(g, info, errVars)
+	var exitLive []*types.Var
+	if liveAtExit && fd.Type.Results != nil {
+		for _, f := range fd.Type.Results.List {
+			for _, n := range f.Names {
+				if v, ok := info.Defs[n].(*types.Var); ok {
+					exitLive = append(exitLive, v)
+				}
+			}
+		}
+	}
+	return r.Dead(exitLive)
+}
+
+func TestReachingDeadDef(t *testing.T) {
+	// err assigned, then overwritten before any use: first def is dead.
+	dead := deadAt(t, `package p
+import "errors"
+func g() error { return errors.New("x") }
+func f() error {
+	err := g()
+	err = g()
+	return err
+}`, "f", false)
+	if len(dead) != 1 {
+		t.Fatalf("want 1 dead def, got %d", len(dead))
+	}
+}
+
+func TestReachingUseOnOneBranchIsEnough(t *testing.T) {
+	dead := deadAt(t, `package p
+import "errors"
+func g() error { return errors.New("x") }
+func f(c bool) error {
+	err := g()
+	if c {
+		return err
+	}
+	return nil
+}`, "f", false)
+	if len(dead) != 0 {
+		t.Fatalf("want no dead defs, got %v", dead)
+	}
+}
+
+func TestReachingLoopCarriedUse(t *testing.T) {
+	// The def at the loop bottom is used on the back edge's next
+	// iteration check: not dead.
+	dead := deadAt(t, `package p
+import "errors"
+func g() error { return errors.New("x") }
+func f(n int) {
+	var err error
+	for i := 0; i < n; i++ {
+		if err != nil {
+			break
+		}
+		err = g()
+	}
+	_ = err
+}`, "f", false)
+	if len(dead) != 0 {
+		t.Fatalf("want no dead defs, got %v", dead)
+	}
+}
+
+func TestReachingDeadInDeadCode(t *testing.T) {
+	// A def never followed by a use on any path: dead.
+	dead := deadAt(t, `package p
+import "errors"
+func g() error { return errors.New("x") }
+func f() int {
+	err := g()
+	goto done
+	_ = err
+done:
+	return 1
+}`, "f", false)
+	if len(dead) != 1 {
+		t.Fatalf("want 1 dead def (use is unreachable), got %d", len(dead))
+	}
+}
+
+func TestReachingNamedResultLiveAtExit(t *testing.T) {
+	dead := deadAt(t, `package p
+import "errors"
+func g() error { return errors.New("x") }
+func f() (err error) {
+	err = g()
+	return
+}`, "f", true)
+	if len(dead) != 0 {
+		t.Fatalf("named result assignment flagged dead: %v", dead)
+	}
+}
+
+func TestReachingClosureCaptureUntracked(t *testing.T) {
+	// err is captured by a literal: untracked, so never reported.
+	dead := deadAt(t, `package p
+import "errors"
+func g() error { return errors.New("x") }
+func f() func() error {
+	err := g()
+	return func() error { return err }
+}`, "f", false)
+	if len(dead) != 0 {
+		t.Fatalf("captured var reported dead: %v", dead)
+	}
+}
+
+func TestReachingSelectDefUse(t *testing.T) {
+	dead := deadAt(t, `package p
+import "errors"
+func f(c chan error) error {
+	var err error
+	select {
+	case err = <-c:
+	default:
+		err = errors.New("empty")
+	}
+	return err
+}`, "f", false)
+	if len(dead) != 0 {
+		t.Fatalf("select-case defs reported dead: %v", dead)
+	}
+}

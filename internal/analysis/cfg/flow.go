@@ -1,0 +1,133 @@
+package cfg
+
+// Forward runs an iterative forward dataflow analysis over g to a
+// fixpoint and returns the state at entry and exit of every block.
+//
+//   - boundary is the state at the entry block's entry (e.g. "no locks
+//     held", "no definitions reach").
+//   - unvisited is the identity of meet: the optimistic initial state of
+//     every other block's entry (the full set for a must-analysis, the
+//     empty set for a may-analysis).
+//   - transfer maps a block's entry state to its exit state. It must be
+//     pure: the driver may call it repeatedly.
+//   - meet combines two predecessor exit states.
+//   - equal detects the fixpoint.
+//
+// Only live blocks participate; dead blocks keep the unvisited state.
+func Forward[S any](
+	g *Graph,
+	boundary func() S,
+	unvisited func() S,
+	transfer func(b *Block, in S) S,
+	meet func(a, b S) S,
+	equal func(a, b S) bool,
+) (in, out []S) {
+	n := len(g.Blocks)
+	in = make([]S, n)
+	out = make([]S, n)
+	for i := range in {
+		in[i] = unvisited()
+		out[i] = unvisited()
+	}
+	in[g.Entry] = boundary()
+
+	preds := make([][]int, n)
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b.Index)
+		}
+	}
+
+	// Worklist seeded with every live block in index order (the builder
+	// allocates roughly in program order, which converges quickly).
+	work := make([]int, 0, n)
+	inWork := make([]bool, n)
+	push := func(i int) {
+		if !inWork[i] && g.Blocks[i].Live {
+			inWork[i] = true
+			work = append(work, i)
+		}
+	}
+	for _, b := range g.Blocks {
+		push(b.Index)
+	}
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		inWork[i] = false
+		b := g.Blocks[i]
+		s := in[i]
+		if len(preds[i]) > 0 {
+			s = out[preds[i][0]]
+			for _, p := range preds[i][1:] {
+				s = meet(s, out[p])
+			}
+			if i == g.Entry {
+				s = meet(s, boundary())
+			}
+			in[i] = s
+		}
+		next := transfer(b, s)
+		if !equal(next, out[i]) {
+			out[i] = next
+			for _, succ := range b.Succs {
+				push(succ)
+			}
+		}
+	}
+	return in, out
+}
+
+// BitSet is a small dense bit set used as dataflow state.
+type BitSet []uint64
+
+// NewBitSet returns a set able to hold n elements.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+func (s BitSet) Has(i int) bool { return s[i/64]&(1<<(i%64)) != 0 }
+func (s BitSet) Set(i int)      { s[i/64] |= 1 << (i % 64) }
+func (s BitSet) Clear(i int)    { s[i/64] &^= 1 << (i % 64) }
+
+// Clone returns an independent copy.
+func (s BitSet) Clone() BitSet {
+	c := make(BitSet, len(s))
+	copy(c, s)
+	return c
+}
+
+// Union adds every element of o to s.
+func (s BitSet) Union(o BitSet) {
+	for i := range o {
+		s[i] |= o[i]
+	}
+}
+
+// Intersect keeps only elements present in both.
+func (s BitSet) Intersect(o BitSet) {
+	for i := range s {
+		s[i] &= o[i]
+	}
+}
+
+// Fill sets every element [0, n).
+func (s BitSet) Fill(n int) {
+	for i := 0; i < n; i++ {
+		s.Set(i)
+	}
+}
+
+// Equal reports whether two same-capacity sets hold the same elements.
+func (s BitSet) Equal(o BitSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}

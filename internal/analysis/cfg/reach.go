@@ -1,0 +1,265 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Def is one definition (assignment) of a tracked variable.
+type Def struct {
+	Var *types.Var
+	// Node is the statement or range head performing the definition.
+	Node ast.Node
+	// Pos is the position of the defined identifier.
+	Pos token.Pos
+}
+
+// Reaching holds the reaching-definitions solution for one function
+// body over a caller-chosen set of local variables.
+//
+// Tracking is deliberately conservative about aliasing: a variable whose
+// address is taken anywhere in the body, or that is captured by a nested
+// function literal, is dropped from tracking entirely (writes and reads
+// through the alias are invisible to the intraprocedural graph).
+type Reaching struct {
+	g    *Graph
+	info *types.Info
+	defs []Def
+	// defsOf indexes defs by variable.
+	defsOf map[*types.Var][]int
+	// in is the set of defs reaching each block's entry.
+	in []BitSet
+}
+
+// ReachingDefs computes reaching definitions over g for every local
+// variable accepted by track (called once per candidate *types.Var).
+func ReachingDefs(g *Graph, info *types.Info, track func(*types.Var) bool) *Reaching {
+	r := &Reaching{g: g, info: info, defsOf: map[*types.Var][]int{}}
+
+	escaped := escapedVars(g, info)
+	tracked := func(v *types.Var) bool {
+		return v != nil && !escaped[v] && track(v)
+	}
+
+	// Pass 1: enumerate definitions in block/node order.
+	for _, b := range g.Blocks {
+		if !b.Live {
+			continue
+		}
+		for _, n := range b.Nodes {
+			forEachDef(info, n, func(v *types.Var, id *ast.Ident) {
+				if !tracked(v) {
+					return
+				}
+				i := len(r.defs)
+				r.defs = append(r.defs, Def{Var: v, Node: n, Pos: id.Pos()})
+				r.defsOf[v] = append(r.defsOf[v], i)
+			})
+		}
+	}
+	if len(r.defs) == 0 {
+		r.in = make([]BitSet, len(g.Blocks))
+		return r
+	}
+
+	nd := len(r.defs)
+	boundary := func() BitSet { return NewBitSet(nd) }
+	transfer := func(b *Block, in BitSet) BitSet {
+		s := in.Clone()
+		r.scanBlock(b, s, nil)
+		return s
+	}
+	meet := func(a, b BitSet) BitSet {
+		u := a.Clone()
+		u.Union(b)
+		return u
+	}
+	in, _ := Forward(g, boundary, boundary, transfer, meet, BitSet.Equal)
+	r.in = in
+	return r
+}
+
+// Dead returns tracked definitions that reach no use of their variable.
+// liveAtExit lists variables implicitly consumed at function exit (named
+// results); their definitions reaching the exit block count as used.
+func (r *Reaching) Dead(liveAtExit []*types.Var) []Def {
+	if len(r.defs) == 0 {
+		return nil
+	}
+	used := make([]bool, len(r.defs))
+	mark := func(cur BitSet, v *types.Var) {
+		for _, i := range r.defsOf[v] {
+			if cur.Has(i) {
+				used[i] = true
+			}
+		}
+	}
+	for _, b := range r.g.Blocks {
+		if !b.Live || r.in[b.Index] == nil {
+			continue
+		}
+		cur := r.in[b.Index].Clone()
+		r.scanBlock(b, cur, mark)
+	}
+	exitIn := r.in[r.g.Exit]
+	if exitIn != nil {
+		for _, v := range liveAtExit {
+			for _, i := range r.defsOf[v] {
+				if exitIn.Has(i) {
+					used[i] = true
+				}
+			}
+		}
+	}
+	var dead []Def
+	for i, d := range r.defs {
+		if !used[i] {
+			dead = append(dead, d)
+		}
+	}
+	return dead
+}
+
+// scanBlock replays a block's nodes over the reaching set cur, invoking
+// onUse (if non-nil) for every variable use before applying that node's
+// kills and gens. Within a node, uses are processed before definitions
+// (right-hand sides evaluate first).
+func (r *Reaching) scanBlock(b *Block, cur BitSet, onUse func(BitSet, *types.Var)) {
+	for _, n := range b.Nodes {
+		if onUse != nil {
+			forEachUse(r.info, n, func(v *types.Var) {
+				if len(r.defsOf[v]) > 0 {
+					onUse(cur, v)
+				}
+			})
+		}
+		forEachDef(r.info, n, func(v *types.Var, id *ast.Ident) {
+			ds := r.defsOf[v]
+			if len(ds) == 0 {
+				return
+			}
+			for _, i := range ds {
+				cur.Clear(i)
+			}
+			for _, i := range ds {
+				if r.defs[i].Pos == id.Pos() {
+					cur.Set(i)
+				}
+			}
+		})
+	}
+}
+
+// forEachDef reports the variables a block node defines (assignment LHS
+// identifiers, value specs with initializers, incdec operands, range
+// key/value bindings).
+func forEachDef(info *types.Info, n ast.Node, fn func(*types.Var, *ast.Ident)) {
+	report := func(e ast.Expr) {
+		id, ok := e.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return
+		}
+		if v, ok := info.Defs[id].(*types.Var); ok {
+			fn(v, id)
+		} else if v, ok := info.Uses[id].(*types.Var); ok {
+			fn(v, id)
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, lhs := range n.Lhs {
+			report(lhs)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+					for _, name := range vs.Names {
+						report(name)
+					}
+				}
+			}
+		}
+	case *ast.IncDecStmt:
+		report(n.X)
+	case *ast.RangeStmt:
+		report(n.Key)
+		if n.Value != nil {
+			report(n.Value)
+		}
+	}
+}
+
+// forEachUse reports the variable reads a block node performs, excluding
+// the defining occurrences on assignment left-hand sides.
+func forEachUse(info *types.Info, n ast.Node, fn func(*types.Var)) {
+	skip := map[*ast.Ident]bool{}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		// Compound assignments (+=, &&= ...) read their left-hand side;
+		// only = and := overwrite without reading.
+		if n.Tok == token.ASSIGN || n.Tok == token.DEFINE {
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					skip[id] = true
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := e.(*ast.Ident); ok {
+				skip[id] = true
+			}
+		}
+	}
+	WalkNode(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok || skip[id] {
+			return true
+		}
+		if v, ok := info.Uses[id].(*types.Var); ok {
+			fn(v)
+		}
+		return true
+	})
+}
+
+// escapedVars collects variables that escape intraprocedural view:
+// captured by a function literal or with their address taken. Scanning
+// descends into everything (unlike WalkNode) because over-collection is
+// safe — an escaped variable is merely untracked.
+func escapedVars(g *Graph, info *types.Info) map[*types.Var]bool {
+	escaped := map[*types.Var]bool{}
+	noteAll := func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok {
+					escaped[v] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			ast.Inspect(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.FuncLit:
+					noteAll(m.Body)
+					return false
+				case *ast.UnaryExpr:
+					if m.Op == token.AND {
+						if id, ok := ast.Unparen(m.X).(*ast.Ident); ok {
+							if v, ok := info.Uses[id].(*types.Var); ok {
+								escaped[v] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return escaped
+}
