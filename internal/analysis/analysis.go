@@ -47,7 +47,8 @@ type Pass struct {
 	Info     *types.Info
 
 	diags   *[]Diagnostic
-	allowed map[allowKey]bool
+	allowed map[allowKey]*allowRec
+	facts   *FactStore
 }
 
 // Diagnostic is one finding, positioned for file:line:col rendering.
@@ -64,7 +65,8 @@ func (d Diagnostic) String() string {
 // Reportf records a finding at pos unless an allow pragma waives it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
-	if p.allowed[allowKey{p.Analyzer.Name, position.Filename, position.Line}] {
+	if rec := p.allowed[allowKey{p.Analyzer.Name, position.Filename, position.Line}]; rec != nil {
+		rec.used = true
 		return
 	}
 	*p.diags = append(*p.diags, Diagnostic{
@@ -81,6 +83,16 @@ type allowKey struct {
 	line     int
 }
 
+// allowRec is one well-formed allow pragma: both lines it waives point at
+// the same record, so a hit on either marks the pragma used. Pragmas that
+// stay unused are reported — a waiver that waives nothing is stale and
+// hides whatever it once documented.
+type allowRec struct {
+	name string
+	pos  token.Position
+	used bool
+}
+
 const allowPrefix = "//filllint:allow "
 
 // collectAllows scans a package's comments for allow pragmas. A pragma on
@@ -88,8 +100,9 @@ const allowPrefix = "//filllint:allow "
 // is stacked above). Malformed pragmas — unknown analyzer or missing
 // "-- reason" — are reported as findings themselves so a typo cannot
 // silently disable enforcement.
-func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool, diags *[]Diagnostic) map[allowKey]bool {
-	allowed := make(map[allowKey]bool)
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool, diags *[]Diagnostic) (map[allowKey]*allowRec, []*allowRec) {
+	allowed := make(map[allowKey]*allowRec)
+	var recs []*allowRec
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -111,23 +124,42 @@ func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool
 					bad("allow pragma names unknown analyzer %q", name)
 					continue
 				}
-				allowed[allowKey{name, pos.Filename, pos.Line}] = true
-				allowed[allowKey{name, pos.Filename, pos.Line + 1}] = true
+				rec := &allowRec{name: name, pos: pos}
+				recs = append(recs, rec)
+				allowed[allowKey{name, pos.Filename, pos.Line}] = rec
+				allowed[allowKey{name, pos.Filename, pos.Line + 1}] = rec
 			}
 		}
 	}
-	return allowed
+	return allowed, recs
 }
 
-// RunAnalyzers applies every analyzer (that opts into the package) to one
-// loaded package and returns the findings sorted by position.
-func RunAnalyzers(analyzers []*Analyzer, pkg *Package) []Diagnostic {
-	known := make(map[string]bool, len(analyzers))
-	for _, a := range analyzers {
+// knownNames returns the valid pragma vocabulary for a run: every
+// registered analyzer plus whatever subset is enabled. Using the full
+// registry keeps `-analyzers ctxflow` from declaring the repo's existing
+// poolpair pragmas "unknown".
+func knownNames(enabled []*Analyzer) map[string]bool {
+	known := make(map[string]bool)
+	for _, a := range All() {
 		known[a.Name] = true
 	}
+	for _, a := range enabled {
+		known[a.Name] = true
+	}
+	return known
+}
+
+// runPackage applies the enabled analyzers to one loaded package,
+// threading facts (which may be nil for single-package runs) and
+// reporting stale allow pragmas, and returns the findings sorted by
+// position.
+func runPackage(analyzers []*Analyzer, pkg *Package, known map[string]bool, facts *FactStore) []Diagnostic {
 	var diags []Diagnostic
-	allowed := collectAllows(pkg.Fset, pkg.Files, known, &diags)
+	allowed, recs := collectAllows(pkg.Fset, pkg.Files, known, &diags)
+	enabled := make(map[string]*Analyzer, len(analyzers))
+	for _, a := range analyzers {
+		enabled[a.Name] = a
+	}
 	for _, a := range analyzers {
 		if a.Packages != nil && !a.Packages(pkg.Types.Path()) {
 			continue
@@ -140,11 +172,35 @@ func RunAnalyzers(analyzers []*Analyzer, pkg *Package) []Diagnostic {
 			Info:     pkg.Info,
 			diags:    &diags,
 			allowed:  allowed,
+			facts:    facts,
 		}
 		a.Run(pass)
 	}
+	// A pragma is only judged stale when its analyzer actually ran here:
+	// waivers for disabled analyzers or out-of-scope packages are left
+	// alone rather than reported against a check that never looked.
+	for _, rec := range recs {
+		if rec.used {
+			continue
+		}
+		a := enabled[rec.name]
+		if a == nil || (a.Packages != nil && !a.Packages(pkg.Types.Path())) {
+			continue
+		}
+		diags = append(diags, Diagnostic{
+			Pos:      rec.pos,
+			Analyzer: "pragma",
+			Message:  fmt.Sprintf("unused allow pragma: %s reports nothing on this or the next line", rec.name),
+		})
+	}
 	SortDiagnostics(diags)
 	return diags
+}
+
+// RunAnalyzers applies every analyzer (that opts into the package) to one
+// loaded package and returns the findings sorted by position.
+func RunAnalyzers(analyzers []*Analyzer, pkg *Package) []Diagnostic {
+	return runPackage(analyzers, pkg, knownNames(analyzers), nil)
 }
 
 // SortDiagnostics orders findings by file, line, column, analyzer.

@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -23,30 +25,49 @@ type Package struct {
 	Info  *types.Info
 }
 
-// LoadModule parses and type-checks every non-test package under the
-// module rooted at root, returning them sorted by import path. It is a
-// stdlib-only loader: local imports resolve against the packages being
-// loaded (in dependency order), and everything else (the standard
-// library) resolves through go/importer's source importer, so no compiled
-// export data and no external tooling is required.
-//
-// Test files (_test.go) are not loaded: the invariants filllint enforces
-// are about shipped engine code, and tests legitimately use wall clocks,
-// randomness and panics.
-func LoadModule(root string) ([]*Package, error) {
+// RawPackage is one parsed — but not yet type-checked — package. The
+// split exists for the incremental driver: parsing (and content hashing)
+// the whole module is cheap, while type-checking through the source
+// importer is the expensive step that cache hits get to skip.
+type RawPackage struct {
+	Dir   string // directory relative to the module root
+	Path  string // import path
+	Files []*ast.File
+	// Hash is the hex SHA-256 of the package's own sources (file names
+	// and contents), independent of its dependencies.
+	Hash string
+	// LocalDeps are the module-local import paths, sorted.
+	LocalDeps []string
+}
+
+// RawModule is the parsed module: every non-test package with content
+// hashes and the local-dependency topological order.
+type RawModule struct {
+	Root    string
+	ModPath string
+	Fset    *token.FileSet
+	Pkgs    map[string]*RawPackage // by import path
+	// Order lists import paths with every local dependency before its
+	// dependents.
+	Order []string
+}
+
+// ParseModule parses every non-test package under the module rooted at
+// root. It is a stdlib-only loader; test files (_test.go) are not
+// loaded: the invariants filllint enforces are about shipped engine
+// code, and tests legitimately use wall clocks, randomness and panics.
+func ParseModule(root string) (*RawModule, error) {
 	modPath, err := modulePath(filepath.Join(root, "go.mod"))
 	if err != nil {
 		return nil, err
 	}
-
-	fset := token.NewFileSet()
-	type rawPkg struct {
-		dir     string
-		path    string
-		files   []*ast.File
-		imports []string
+	m := &RawModule{
+		Root:    root,
+		ModPath: modPath,
+		Fset:    token.NewFileSet(),
+		Pkgs:    map[string]*RawPackage{},
 	}
-	raw := make(map[string]*rawPkg) // by import path
+	imports := map[string][]string{}
 
 	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -59,7 +80,7 @@ func LoadModule(root string) ([]*Package, error) {
 		if p != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
 			return filepath.SkipDir
 		}
-		files, perr := parseDir(fset, p)
+		files, hash, perr := parseDir(m.Fset, p)
 		if perr != nil {
 			return perr
 		}
@@ -74,53 +95,118 @@ func LoadModule(root string) ([]*Package, error) {
 		if rel != "." {
 			ip = modPath + "/" + filepath.ToSlash(rel)
 		}
-		rp := &rawPkg{dir: rel, path: ip, files: files}
+		rp := &RawPackage{Dir: rel, Path: ip, Files: files, Hash: hash}
 		seen := map[string]bool{}
 		for _, f := range files {
 			for _, imp := range f.Imports {
 				q := strings.Trim(imp.Path.Value, `"`)
 				if !seen[q] {
 					seen[q] = true
-					rp.imports = append(rp.imports, q)
+					imports[ip] = append(imports[ip], q)
 				}
 			}
 		}
-		raw[ip] = rp
+		m.Pkgs[ip] = rp
 		return nil
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	// Type-check in dependency order so local imports always resolve to an
-	// already-checked package.
-	order, err := topoOrder(raw, func(p *rawPkg) []string {
-		var local []string
-		for _, q := range p.imports {
-			if _, ok := raw[q]; ok {
-				local = append(local, q)
+	for ip, rp := range m.Pkgs {
+		for _, q := range imports[ip] {
+			if _, ok := m.Pkgs[q]; ok {
+				rp.LocalDeps = append(rp.LocalDeps, q)
 			}
 		}
-		return local
-	})
+		sort.Strings(rp.LocalDeps)
+	}
+	m.Order, err = topoOrder(m.Pkgs, func(p *RawPackage) []string { return p.LocalDeps })
 	if err != nil {
 		return nil, err
+	}
+	return m, nil
+}
+
+// ChainHashes returns, for every package, a hex hash covering the
+// package's own sources, its local dependencies' chain hashes, and salt
+// (analyzer configuration, versions). Any change in a package or
+// anything it depends on — and hence anything that could change its
+// findings or the facts flowing into it — changes its chain hash.
+func (m *RawModule) ChainHashes(salt string) map[string]string {
+	chain := make(map[string]string, len(m.Pkgs))
+	for _, ip := range m.Order {
+		rp := m.Pkgs[ip]
+		h := sha256.New()
+		fmt.Fprintf(h, "salt %s\npkg %s %s\n", salt, ip, rp.Hash)
+		for _, dep := range rp.LocalDeps {
+			fmt.Fprintf(h, "dep %s %s\n", dep, chain[dep])
+		}
+		chain[ip] = hex.EncodeToString(h.Sum(nil))
+	}
+	return chain
+}
+
+// TypeCheck type-checks the packages selected by need (nil = all) plus,
+// transitively, their local dependencies, in dependency order, and
+// returns them keyed by import path.
+func (m *RawModule) TypeCheck(need func(path string) bool) (map[string]*Package, error) {
+	want := map[string]bool{}
+	var include func(ip string)
+	include = func(ip string) {
+		if want[ip] {
+			return
+		}
+		want[ip] = true
+		for _, dep := range m.Pkgs[ip].LocalDeps {
+			include(dep)
+		}
+	}
+	for _, ip := range m.Order {
+		if need == nil || need(ip) {
+			include(ip)
+		}
 	}
 
 	checked := make(map[string]*types.Package)
 	imp := &chainImporter{
 		local: checked,
-		std:   importer.ForCompiler(fset, "source", nil),
+		std:   importer.ForCompiler(m.Fset, "source", nil),
 	}
-	var out []*Package
-	for _, ip := range order {
-		rp := raw[ip]
-		pkg, info, cerr := CheckFiles(fset, ip, rp.files, imp)
+	out := make(map[string]*Package, len(want))
+	for _, ip := range m.Order {
+		if !want[ip] {
+			continue
+		}
+		rp := m.Pkgs[ip]
+		pkg, info, cerr := CheckFiles(m.Fset, ip, rp.Files, imp)
 		if cerr != nil {
 			return nil, fmt.Errorf("type-checking %s: %w", ip, cerr)
 		}
 		checked[ip] = pkg
-		out = append(out, &Package{Dir: rp.dir, Path: ip, Fset: fset, Files: rp.files, Types: pkg, Info: info})
+		out[ip] = &Package{Dir: rp.Dir, Path: ip, Fset: m.Fset, Files: rp.Files, Types: pkg, Info: info}
+	}
+	return out, nil
+}
+
+// LoadModule parses and type-checks every non-test package under the
+// module rooted at root, returning them sorted by import path. Local
+// imports resolve against the packages being loaded (in dependency
+// order), and everything else (the standard library) resolves through
+// go/importer's source importer, so no compiled export data and no
+// external tooling is required.
+func LoadModule(root string) ([]*Package, error) {
+	m, err := ParseModule(root)
+	if err != nil {
+		return nil, err
+	}
+	byPath, err := m.TypeCheck(nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Package, 0, len(byPath))
+	for _, p := range byPath {
+		out = append(out, p)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
@@ -167,28 +253,37 @@ func (c *chainImporter) Import(path string) (*types.Package, error) {
 }
 
 // parseDir parses the non-test, non-ignored .go files directly inside dir
-// (no recursion). It returns nil when dir holds no Go files.
-func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+// (no recursion) and hashes their names and contents. It returns no files
+// when dir holds no Go files.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	var files []*ast.File
+	h := sha256.New()
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, perr := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		path := filepath.Join(dir, name)
+		src, rerr := os.ReadFile(path)
+		if rerr != nil {
+			return nil, "", rerr
+		}
+		f, perr := parser.ParseFile(fset, path, src, parser.ParseComments)
 		if perr != nil {
-			return nil, perr
+			return nil, "", perr
 		}
 		if buildIgnored(f) {
 			continue
 		}
+		fmt.Fprintf(h, "file %s %d\n", name, len(src))
+		h.Write(src)
 		files = append(files, f)
 	}
-	return files, nil
+	return files, hex.EncodeToString(h.Sum(nil)), nil
 }
 
 // buildIgnored reports whether f carries a "//go:build ignore" constraint.
