@@ -3,8 +3,12 @@ package analysis
 // All returns every registered analyzer in stable (alphabetical) order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		ChanBound,
 		CtxFlow,
+		ErrSink,
 		GeomCast,
+		GoLeak,
+		LockGuard,
 		NoDeterm,
 		NoPanic,
 		PoolPair,

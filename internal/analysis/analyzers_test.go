@@ -1,6 +1,11 @@
 package analysis
 
-import "testing"
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
 
 // Each analyzer is exercised against a seeded true-positive fixture and a
 // clean fixture, type-checked under a package path the analyzer scopes
@@ -108,6 +113,93 @@ func TestNoPanicFixtures(t *testing.T) {
 
 func TestMalformedPragmasAreFindings(t *testing.T) {
 	runFixture(t, NoPanic, fixturePath("pragma", "bad.go"), "dummyfill/internal/mcf")
+}
+
+func TestUnusedPragmasAreFindings(t *testing.T) {
+	runFixture(t, NoPanic, fixturePath("pragma", "unused.go"), "dummyfill/internal/mcf")
+}
+
+// TestUnusedPragmaNeedsEnabledAnalyzer pins the staleness rule: a pragma
+// is only judged unused when its analyzer actually ran, so running a
+// subset never flags waivers belonging to the analyzers left out.
+func TestUnusedPragmaNeedsEnabledAnalyzer(t *testing.T) {
+	diags := fixtureDiags(t, CtxFlow, fixturePath("pragma", "unused.go"), "dummyfill/internal/fill")
+	for _, d := range diags {
+		if strings.Contains(d.Message, "unused allow pragma") {
+			t.Fatalf("nopanic pragma judged stale by a run without nopanic: %v", d)
+		}
+	}
+}
+
+func TestLockGuardFixtures(t *testing.T) {
+	// lockguard is unscoped: guard annotations are opt-in per field, so
+	// it costs nothing where nothing is annotated.
+	runFixture(t, LockGuard, fixturePath("lockguard", "bad.go"), "dummyfill/internal/serve")
+	runFixture(t, LockGuard, fixturePath("lockguard", "clean.go"), "dummyfill/internal/serve")
+	// The serving drain-gate shape: WaitGroup accounting ordered against
+	// the draining flip through drainMu, as in internal/serve.
+	runFixture(t, LockGuard, fixturePath("lockguard", "serve.go"), "dummyfill/internal/serve")
+}
+
+func TestGoLeakFixtures(t *testing.T) {
+	runFixture(t, GoLeak, fixturePath("goleak", "bad.go"), "dummyfill/internal/fill")
+	runFixture(t, GoLeak, fixturePath("goleak", "clean.go"), "dummyfill/internal/fill")
+}
+
+func TestErrSinkFixtures(t *testing.T) {
+	runFixture(t, ErrSink, fixturePath("errsink", "bad.go"), "dummyfill/internal/fill")
+	runFixture(t, ErrSink, fixturePath("errsink", "clean.go"), "dummyfill/internal/fill")
+}
+
+func TestChanBoundFixtures(t *testing.T) {
+	runFixture(t, ChanBound, fixturePath("chanbound", "bad.go"), "dummyfill/internal/serve")
+	runFixture(t, ChanBound, fixturePath("chanbound", "clean.go"), "dummyfill/internal/serve")
+}
+
+// TestChanBoundScope: unbuffered data channels outside the pipeline and
+// serving packages are not chanbound's business.
+func TestChanBoundScope(t *testing.T) {
+	diags := fixtureDiags(t, ChanBound, fixturePath("chanbound", "bad.go"), "dummyfill/internal/synth")
+	if len(diags) != 0 {
+		t.Fatalf("chanbound fired outside its package scope: %v", diags)
+	}
+}
+
+// TestCrossPackageErrSinkFacts drives the two-package fixture module
+// through the real driver: package b drops two errors from package a,
+// and only the unannotated one is a finding — which requires a's
+// ErrSinkFact to reach b, from live analysis on the cold run and from
+// the fact cache on the warm one.
+func TestCrossPackageErrSinkFacts(t *testing.T) {
+	root := filepath.Join("testdata", "factsmod")
+	cache := t.TempDir()
+	opts := DriverOptions{Analyzers: []*Analyzer{ErrSink}, Parallel: 2, CacheDir: cache}
+
+	cold, err := RunDriver(root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Diagnostics) != 1 {
+		t.Fatalf("want exactly 1 finding (Fragile discarded), got %v", cold.Diagnostics)
+	}
+	d := cold.Diagnostics[0]
+	if !strings.Contains(d.Message, "Fragile") || !strings.HasSuffix(d.Pos.Filename, "b.go") {
+		t.Fatalf("finding should be the Fragile discard in b.go: %v", d)
+	}
+
+	warm, err := RunDriver(root, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats.Cached != 2 || warm.Stats.Analyzed != 0 {
+		t.Fatalf("warm stats: %+v", warm.Stats)
+	}
+	if warm.Stats.CachedFacts == 0 {
+		t.Fatalf("warm run loaded no facts from cache: %+v", warm.Stats)
+	}
+	if !reflect.DeepEqual(cold.Diagnostics, warm.Diagnostics) {
+		t.Fatalf("cold/warm findings differ:\n%v\n%v", cold.Diagnostics, warm.Diagnostics)
+	}
 }
 
 // TestAllUniqueNames guards the registry against duplicate or empty

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ChanBound forbids unbuffered data channels in the pipeline and
+// serving packages. The module's concurrency idiom is explicit about
+// backpressure: data flows through channels with a stated capacity
+// (sized from worker counts or admission slots), while pure signals —
+// completion, cancellation, readiness — are unbuffered chan struct{}.
+// An unbuffered channel of a data-carrying type couples producer and
+// consumer in lockstep and is where pipeline deadlocks breed, so
+// make(chan T) and make(chan T, 0) with T other than struct{} are
+// findings in these packages.
+var ChanBound = &Analyzer{
+	Name:     "chanbound",
+	Doc:      "pipeline/serve packages must size data channels; only struct{} signals may be unbuffered",
+	Packages: pkgScope("internal/fill", "internal/serve", "internal/fillcache", "internal/density", "internal/grid"),
+	Run:      runChanBound,
+}
+
+func runChanBound(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+			if !ok || id.Name != "make" {
+				return true
+			}
+			if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			tv, ok := p.Info.Types[call.Args[0]]
+			if !ok {
+				return true
+			}
+			ch, ok := tv.Type.Underlying().(*types.Chan)
+			if !ok {
+				return true
+			}
+			unbuffered := len(call.Args) == 1
+			if len(call.Args) == 2 {
+				if cv, ok := p.Info.Types[call.Args[1]]; ok && cv.Value != nil && cv.Value.String() == "0" {
+					unbuffered = true
+				}
+			}
+			if !unbuffered {
+				return true
+			}
+			if isEmptyStruct(ch.Elem()) {
+				return true
+			}
+			p.Reportf(call.Pos(), "unbuffered data channel of %s; size it for backpressure or use chan struct{} for signalling", ch.Elem().String())
+			return true
+		})
+	}
+}
+
+// isEmptyStruct reports whether t is struct{} (possibly named).
+func isEmptyStruct(t types.Type) bool {
+	st, ok := t.Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}

@@ -1,0 +1,250 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"dummyfill/internal/analysis/cfg"
+)
+
+// ErrSink requires errors produced by module-internal calls to flow
+// somewhere: into a return, into a handler, into health accounting —
+// anywhere but the floor. Three shapes are findings:
+//
+//   - a call statement whose internal callee returns an error that the
+//     statement simply drops;
+//   - an internal call's error result assigned to the blank identifier;
+//   - an error variable assigned from an internal call and then — per
+//     reaching-definitions over the function's CFG — never read on any
+//     path (named error results count as read at every return).
+//
+// A function that accounts its own errors internally (metrics, logs,
+// degraded-mode counters) can be annotated
+//
+//	//filllint:errsink
+//
+// in its doc comment; callers may then drop its error. The annotation
+// is exported as a fact, so dependant packages get the same licence,
+// and it is itself checked: annotating a function with no error result
+// is a finding (the annotation is stale or misplaced).
+var ErrSink = &Analyzer{
+	Name: "errsink",
+	Doc:  "errors from module-internal calls must flow into a return, handler, or annotated sink",
+	Run:  runErrSink,
+}
+
+// ErrSinkFact marks a function whose error result may be dropped by
+// callers because the function accounts failures internally.
+type ErrSinkFact struct{}
+
+func (ErrSinkFact) FactName() string { return "errsink.Sink" }
+
+const errsinkPragma = "//filllint:errsink"
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func runErrSink(p *Pass) {
+	sinks := collectErrSinks(p)
+	for _, f := range p.Files {
+		for _, fb := range funcBodies(f) {
+			checkDiscards(p, fb, sinks)
+			checkDeadErrDefs(p, fb, sinks)
+		}
+	}
+}
+
+// collectErrSinks scans for //filllint:errsink annotations, validates
+// them against the signature, and exports the facts.
+func collectErrSinks(p *Pass) map[*types.Func]bool {
+	sinks := map[*types.Func]bool{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				rest, found := strings.CutPrefix(c.Text, errsinkPragma)
+				if !found || (rest != "" && !strings.HasPrefix(strings.TrimSpace(rest), "//")) {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				if len(errorResultIdx(fn)) == 0 {
+					p.Reportf(c.Pos(), "stale //filllint:errsink: %s returns no error", fn.Name())
+					continue
+				}
+				sinks[fn] = true
+				p.ExportObjectFact(fn, ErrSinkFact{})
+			}
+		}
+	}
+	return sinks
+}
+
+// checkDiscards flags whole-statement and blank-identifier discards of
+// internal error results.
+func checkDiscards(p *Pass, fb funcBody, sinks map[*types.Func]bool) {
+	walkBody(fb.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := internalErrCallee(p, call, sinks); fn != nil {
+				p.Reportf(n.Pos(), "error from %s is discarded; handle it, return it, or annotate the callee //filllint:errsink", fn.Name())
+			}
+			return false
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := internalErrCallee(p, call, sinks)
+			if fn == nil {
+				return true
+			}
+			for _, i := range errorResultIdx(fn) {
+				if i >= len(n.Lhs) {
+					continue
+				}
+				if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+					p.Reportf(id.Pos(), "error from %s is assigned to _; handle it, return it, or annotate the callee //filllint:errsink", fn.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkDeadErrDefs runs reaching definitions over the body and flags
+// error variables assigned from internal calls but never read on any
+// path.
+func checkDeadErrDefs(p *Pass, fb funcBody, sinks map[*types.Func]bool) {
+	// Cheap pre-pass: any error-typed assignment from an internal call?
+	found := false
+	walkBody(fb.body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && internalErrCallee(p, call, sinks) != nil {
+			found = true
+		}
+		return !found
+	})
+	if !found {
+		return
+	}
+
+	// Named error results count as read at every return; they are the
+	// only tracked variables declared outside the body span.
+	named := map[*types.Var]bool{}
+	var liveAtExit []*types.Var
+	if fb.typ.Results != nil {
+		for _, field := range fb.typ.Results.List {
+			for _, name := range field.Names {
+				if v, ok := p.Info.Defs[name].(*types.Var); ok && types.Identical(v.Type(), errorType) {
+					named[v] = true
+					liveAtExit = append(liveAtExit, v)
+				}
+			}
+		}
+	}
+
+	g := cfg.New(fb.body)
+	r := cfg.ReachingDefs(g, p.Info, func(v *types.Var) bool {
+		if !types.Identical(v.Type(), errorType) {
+			return false
+		}
+		// A variable captured from an enclosing function outlives this
+		// body: its reads happen beyond the intraprocedural horizon, so a
+		// "dead" definition here proves nothing.
+		return named[v] || (v.Pos() >= fb.body.Pos() && v.Pos() < fb.body.End())
+	})
+	for _, d := range r.Dead(liveAtExit) {
+		fn := defInternalErrCallee(p, d.Node, sinks)
+		if fn == nil {
+			continue
+		}
+		p.Reportf(d.Pos, "%s assigned from %s is never read on any path; the error is silently dropped", d.Var.Name(), fn.Name())
+	}
+}
+
+// defInternalErrCallee extracts the internal error-returning callee a
+// definition node assigns from, if any.
+func defInternalErrCallee(p *Pass, n ast.Node, sinks map[*types.Func]bool) *types.Func {
+	var rhs []ast.Expr
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		rhs = n.Rhs
+	case *ast.DeclStmt:
+		if gd, ok := n.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					rhs = append(rhs, vs.Values...)
+				}
+			}
+		}
+	default:
+		return nil
+	}
+	for _, e := range rhs {
+		if call, ok := ast.Unparen(e).(*ast.CallExpr); ok {
+			if fn := internalErrCallee(p, call, sinks); fn != nil {
+				return fn
+			}
+		}
+	}
+	return nil
+}
+
+// internalErrCallee resolves call's callee when it is module-internal,
+// returns at least one error, and is not an annotated sink.
+func internalErrCallee(p *Pass, call *ast.CallExpr, sinks map[*types.Func]bool) *types.Func {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return nil
+	}
+	if moduleRootOf(fn.Pkg().Path()) != moduleRootOf(p.Pkg.Path()) {
+		return nil
+	}
+	if len(errorResultIdx(fn)) == 0 {
+		return nil
+	}
+	if sinks[fn] {
+		return nil
+	}
+	var sf ErrSinkFact
+	if fn.Pkg() != p.Pkg && p.ImportObjectFact(fn, &sf) {
+		return nil
+	}
+	return fn
+}
+
+// errorResultIdx returns the indices of fn's error-typed results.
+func errorResultIdx(fn *types.Func) []int {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	var idx []int
+	for i := 0; i < sig.Results().Len(); i++ {
+		if types.Identical(sig.Results().At(i).Type(), errorType) {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// moduleRootOf is the first segment of an import path — identical for
+// every package of one module, different for the standard library.
+func moduleRootOf(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}

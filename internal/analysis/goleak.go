@@ -1,0 +1,225 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoLeak requires every go statement to have a provable join or cancel
+// edge — some mechanism by which the goroutine's lifetime is bounded by
+// its spawner rather than by the process. Accepted proofs, matching the
+// module's concurrency idioms:
+//
+//   - the goroutine calls Done on a sync.WaitGroup (worker-pool join);
+//   - the goroutine receives from a context's Done channel (cancel
+//     propagation: the watcher idiom);
+//   - the goroutine closes or sends on a channel that the spawning
+//     function receives from (completion signal: the done-channel
+//     idiom);
+//   - the goroutine is a call to a named function proven joinable by
+//     one of the first two rules, in this package or — via exported
+//     JoinableFact — any dependency.
+//
+// A fire-and-forget goroutine that is genuinely intended to live for
+// the whole process must say so with an allow pragma.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "every go statement needs a provable join or cancel edge",
+	Run:  runGoLeak,
+}
+
+// JoinableFact marks a named function whose body contains its own join
+// or cancel edge, so `go pkg.Fn(...)` is accepted at spawn sites.
+type JoinableFact struct{ Reason string }
+
+func (JoinableFact) FactName() string { return "goleak.Joinable" }
+
+func runGoLeak(p *Pass) {
+	// Pass 1: prove named functions joinable and export the facts, so
+	// spawn sites here and downstream can accept `go f()`.
+	joinable := map[*types.Func]string{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			reason := selfJoinReason(p.Info, fd.Body)
+			if reason == "" {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				joinable[fn] = reason
+				p.ExportObjectFact(fn, JoinableFact{Reason: reason})
+			}
+		}
+	}
+
+	// Pass 2: judge every go statement against its enclosing body.
+	for _, f := range p.Files {
+		for _, fb := range funcBodies(f) {
+			walkBody(fb.body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				checkGoStmt(p, fb, gs, joinable)
+				return true
+			})
+		}
+	}
+}
+
+func checkGoStmt(p *Pass, fb funcBody, gs *ast.GoStmt, joinable map[*types.Func]string) {
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		if selfJoinReason(p.Info, lit.Body) != "" {
+			return
+		}
+		// Completion-signal idiom: the goroutine closes or sends on a
+		// channel the spawning function receives from.
+		signals := signaledChans(p.Info, lit.Body)
+		if len(signals) > 0 {
+			received := receivedChans(p.Info, fb.body)
+			for ch := range signals {
+				if received[ch] {
+					return
+				}
+			}
+		}
+		p.Reportf(gs.Pos(), "goroutine has no provable join or cancel edge (WaitGroup.Done, ctx.Done receive, or signal channel the spawner receives from)")
+		return
+	}
+	// go f(...): accept when the named callee is proven joinable.
+	if fn := calleeFunc(p.Info, gs.Call); fn != nil {
+		if _, ok := joinable[fn]; ok {
+			return
+		}
+		var jf JoinableFact
+		if p.ImportObjectFact(fn, &jf) {
+			return
+		}
+		p.Reportf(gs.Pos(), "go %s: callee has no provable join or cancel edge in its body", fn.Name())
+		return
+	}
+	p.Reportf(gs.Pos(), "goroutine has no provable join or cancel edge")
+}
+
+// selfJoinReason inspects a function body (defers and nested literals
+// included — a join edge anywhere in the goroutine bounds it) for an
+// intrinsic join or cancel edge, returning a short reason or "".
+func selfJoinReason(info *types.Info, body *ast.BlockStmt) string {
+	reason := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reason != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isWaitGroupDone(info, n) {
+				reason = "calls WaitGroup.Done"
+				return false
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && isCtxDoneChan(info, n.X) {
+				reason = "receives from ctx.Done()"
+				return false
+			}
+		case *ast.RangeStmt:
+			// for range ctx.Done() — exotic but equivalent.
+			if isCtxDoneChan(info, n.X) {
+				reason = "receives from ctx.Done()"
+				return false
+			}
+		}
+		return true
+	})
+	return reason
+}
+
+// isWaitGroupDone matches wg.Done() on a sync.WaitGroup.
+func isWaitGroupDone(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Done" || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	named := derefNamed(recv.Type())
+	return named != nil && named.Obj().Name() == "WaitGroup"
+}
+
+// isCtxDoneChan matches the expression ctx.Done() for a context.Context.
+func isCtxDoneChan(info *types.Info, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	tv, ok := info.Types[sel.X]
+	return ok && isContextType(tv.Type)
+}
+
+// signaledChans collects channel variables the body closes or sends on.
+func signaledChans(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	note := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				out[v] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			note(n.Chan)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && len(n.Args) == 1 {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "close" {
+					note(n.Args[0])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// receivedChans collects channel variables the body receives from —
+// plain receives, select comm clauses, and range-over-channel.
+func receivedChans(info *types.Info, body *ast.BlockStmt) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	note := func(e ast.Expr) {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if v, ok := info.Uses[id].(*types.Var); ok {
+				out[v] = true
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				note(n.X)
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					note(n.X)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,504 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"dummyfill/internal/analysis/cfg"
+)
+
+// LockGuard enforces annotated lock discipline with a must-hold dataflow
+// over each function's CFG. A struct field carrying
+//
+//	//filllint:guard <mutexField>
+//
+// (on the field's line or the line above) may only be accessed where
+// every control-flow path has acquired the named sibling mutex — via
+// Lock or RLock — and not yet released it. A function declaring
+//
+//	//filllint:holds <mutexField>
+//
+// is analyzed with the guard held at entry (the caller's obligation),
+// and every call site of such a function is checked to actually hold it.
+//
+// The analysis is deliberately conservative in what it checks rather
+// than what it reports: accesses rooted at variables local to the
+// current function body (freshly constructed values that no other
+// goroutine can see yet) are exempt, deferred statements neither
+// acquire nor release (a deferred Unlock runs at return, so the lock
+// stays held for the body), and accesses it cannot name by a stable
+// path are skipped. Guard annotations are exported as facts, so
+// packages accessing an exported guarded field are checked too.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields annotated //filllint:guard mu may only be accessed with mu provably held",
+	Run:  runLockGuard,
+}
+
+// GuardFact marks a struct field (keyed "Type.Field") as guarded by the
+// named sibling mutex field.
+type GuardFact struct{ Guard string }
+
+func (GuardFact) FactName() string { return "lockguard.Guard" }
+
+// HoldsFact marks a function as requiring its guards held at entry.
+// Undotted guard names are relative to the method receiver.
+type HoldsFact struct{ Guards []string }
+
+func (HoldsFact) FactName() string { return "lockguard.Holds" }
+
+const (
+	guardPrefix = "//filllint:guard "
+	holdsPrefix = "//filllint:holds "
+)
+
+// guardedField records one annotated field of the package.
+type guardedField struct {
+	guard    string // sibling mutex field name
+	typeName string // owning type, for the fact key
+}
+
+func runLockGuard(p *Pass) {
+	guards := collectGuards(p)
+	holds := collectHolds(p)
+	for _, f := range p.Files {
+		for _, fb := range funcBodies(f) {
+			checkLockBody(p, fb, guards, holds)
+		}
+	}
+}
+
+// collectGuards scans struct declarations for //filllint:guard
+// annotations, validates them against a mutex-typed sibling field, and
+// exports each as a GuardFact.
+func collectGuards(p *Pass) map[*types.Var]guardedField {
+	guards := map[*types.Var]guardedField{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				for _, field := range st.Fields.List {
+					guard, pos, ok := fieldGuardAnnotation(field)
+					if !ok {
+						continue
+					}
+					if !mutexSibling(p, st, guard) {
+						p.Reportf(pos, "//filllint:guard names %q, which is not a sync.Mutex/RWMutex sibling field of %s", guard, ts.Name.Name)
+						continue
+					}
+					for _, name := range field.Names {
+						v, ok := p.Info.Defs[name].(*types.Var)
+						if !ok {
+							continue
+						}
+						guards[v] = guardedField{guard: guard, typeName: ts.Name.Name}
+						p.ExportKeyFact(FieldKey(ts.Name.Name, name.Name), GuardFact{Guard: guard})
+					}
+				}
+			}
+		}
+	}
+	return guards
+}
+
+// fieldGuardAnnotation extracts a guard annotation from a field's doc or
+// trailing comment.
+func fieldGuardAnnotation(field *ast.Field) (guard string, pos token.Pos, ok bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if rest, found := strings.CutPrefix(c.Text, strings.TrimSuffix(guardPrefix, " ")); found {
+				// Only the first token names the guard; anything after it
+				// (trailing commentary) is ignored.
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					return fields[0], c.Pos(), true
+				}
+				return "", c.Pos(), true
+			}
+		}
+	}
+	return "", 0, false
+}
+
+// mutexSibling reports whether st declares a field named guard whose
+// type is sync.Mutex, sync.RWMutex, or a pointer to one.
+func mutexSibling(p *Pass, st *ast.StructType, guard string) bool {
+	for _, field := range st.Fields.List {
+		for _, name := range field.Names {
+			if name.Name != guard {
+				continue
+			}
+			if v, ok := p.Info.Defs[name].(*types.Var); ok && isMutexType(v.Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// collectHolds scans function declarations for //filllint:holds
+// annotations and exports each as a HoldsFact.
+func collectHolds(p *Pass) map[*types.Func][]string {
+	holds := map[*types.Func][]string{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				rest, found := strings.CutPrefix(c.Text, strings.TrimSuffix(holdsPrefix, " "))
+				if !found {
+					continue
+				}
+				spec := ""
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					spec = fields[0]
+				}
+				if spec == "" {
+					p.Reportf(c.Pos(), "//filllint:holds needs a mutex field name")
+					continue
+				}
+				if !strings.Contains(spec, ".") && recvName(fd) == "" {
+					p.Reportf(c.Pos(), "//filllint:holds %s on a non-method needs a dotted path (e.g. c.mu)", spec)
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				holds[fn] = append(holds[fn], spec)
+			}
+		}
+	}
+	for fn, specs := range holds {
+		p.ExportObjectFact(fn, HoldsFact{Guards: specs})
+	}
+	return holds
+}
+
+func recvName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// lockSite is one point the dataflow must judge: a guarded-field access
+// or a call into a //filllint:holds function.
+type lockSite struct {
+	pos  token.Pos
+	key  string // lock path that must be held, e.g. "s.drainMu"
+	what string // for the message: the access or call being protected
+}
+
+func checkLockBody(p *Pass, fb funcBody, guards map[*types.Var]guardedField, holds map[*types.Func][]string) {
+	// Pre-pass: enumerate the lock paths the body manipulates and check
+	// whether anything here needs judging at all.
+	keys := map[string]int{}
+	intern := func(k string) int {
+		if i, ok := keys[k]; ok {
+			return i
+		}
+		i := len(keys)
+		keys[k] = i
+		return i
+	}
+	interesting := false
+	walkBody(fb.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if _, key, ok := mutexOp(p.Info, n); ok {
+				intern(key)
+			}
+			for _, s := range holdsSites(p, n, holds) {
+				intern(s.key)
+				interesting = true
+			}
+		case *ast.SelectorExpr:
+			if s, ok := guardSite(p, fb, n, guards); ok {
+				intern(s.key)
+				interesting = true
+			}
+		}
+		return true
+	})
+	if !interesting {
+		return
+	}
+
+	// Entry assumption from a //filllint:holds annotation on this decl.
+	entry := map[int]bool{}
+	if fb.decl != nil {
+		if fn, ok := p.Info.Defs[fb.decl.Name].(*types.Func); ok {
+			for _, spec := range holds[fn] {
+				key := spec
+				if !strings.Contains(spec, ".") {
+					if r := recvName(fb.decl); r != "" {
+						key = r + "." + spec
+					} else {
+						continue
+					}
+				}
+				entry[intern(key)] = true
+			}
+		}
+	}
+
+	g := cfg.New(fb.body)
+	nk := len(keys)
+	boundary := func() cfg.BitSet {
+		s := cfg.NewBitSet(nk)
+		for i := range entry {
+			s.Set(i)
+		}
+		return s
+	}
+	full := func() cfg.BitSet {
+		s := cfg.NewBitSet(nk)
+		s.Fill(nk)
+		return s
+	}
+	transfer := func(b *cfg.Block, in cfg.BitSet) cfg.BitSet {
+		s := in.Clone()
+		replayLocks(p, b, s, keys, fb, guards, holds, nil)
+		return s
+	}
+	meet := func(a, b cfg.BitSet) cfg.BitSet {
+		u := a.Clone()
+		u.Intersect(b)
+		return u
+	}
+	in, _ := cfg.Forward(g, boundary, full, transfer, meet, cfg.BitSet.Equal)
+
+	seen := map[token.Pos]bool{}
+	report := func(s lockSite, held cfg.BitSet) {
+		if seen[s.pos] {
+			return
+		}
+		seen[s.pos] = true
+		p.Reportf(s.pos, "%s requires %s held on every path to this point", s.what, s.key)
+	}
+	for _, b := range g.Blocks {
+		if !b.Live || in[b.Index] == nil {
+			continue
+		}
+		cur := in[b.Index].Clone()
+		replayLocks(p, b, cur, keys, fb, guards, holds, report)
+	}
+}
+
+// replayLocks walks one block's nodes in order, mutating the held set at
+// every Lock/RLock/Unlock/RUnlock and, when check is non-nil, invoking
+// it for every guarded access or holds-call whose key is not held.
+func replayLocks(p *Pass, b *cfg.Block, held cfg.BitSet, keys map[string]int,
+	fb funcBody, guards map[*types.Var]guardedField, holds map[*types.Func][]string,
+	check func(lockSite, cfg.BitSet)) {
+	for _, n := range b.Nodes {
+		cfg.WalkNode(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.DeferStmt:
+				// Deferred calls run at return: a deferred Unlock keeps
+				// the lock held for the body, and deferred accesses run
+				// under whatever is held at exit — out of scope here.
+				return false
+			case *ast.CallExpr:
+				if op, key, ok := mutexOp(p.Info, m); ok {
+					if i, known := keys[key]; known {
+						switch op {
+						case "Lock", "RLock":
+							held.Set(i)
+						case "Unlock", "RUnlock":
+							held.Clear(i)
+						}
+					}
+					return false
+				}
+				if check != nil {
+					for _, s := range holdsSites(p, m, holds) {
+						if i, known := keys[s.key]; known && !held.Has(i) {
+							check(s, held)
+						}
+					}
+				}
+			case *ast.SelectorExpr:
+				if s, ok := guardSite(p, fb, m, guards); ok {
+					if check != nil {
+						if i, known := keys[s.key]; known && !held.Has(i) {
+							check(s, held)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// mutexOp matches call as a sync.Mutex/RWMutex Lock, RLock, Unlock or
+// RUnlock method call, returning the operation and the textual lock path
+// (e.g. "s.drainMu").
+func mutexOp(info *types.Info, call *ast.CallExpr) (op, key string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || !isMutexType(recv.Type()) {
+		return "", "", false
+	}
+	return fn.Name(), types.ExprString(sel.X), true
+}
+
+// guardSite resolves sel as an access to a guarded field, returning the
+// site to judge. Accesses rooted at variables declared inside this body
+// (unshared fresh values, e.g. in constructors) are exempt; variables
+// from outside — parameters, receivers, captured variables, globals —
+// are checked.
+func guardSite(p *Pass, fb funcBody, sel *ast.SelectorExpr, guards map[*types.Var]guardedField) (lockSite, bool) {
+	selInfo := p.Info.Selections[sel]
+	if selInfo == nil || selInfo.Kind() != types.FieldVal {
+		return lockSite{}, false
+	}
+	v, ok := selInfo.Obj().(*types.Var)
+	if !ok {
+		return lockSite{}, false
+	}
+	guard := ""
+	if gi, found := guards[v]; found {
+		guard = gi.guard
+	} else if v.Pkg() != nil && v.Pkg() != p.Pkg {
+		if named := derefNamed(selInfo.Recv()); named != nil {
+			var gf GuardFact
+			if p.ImportKeyFact(v.Pkg().Path(), FieldKey(named.Obj().Name(), v.Name()), &gf) {
+				guard = gf.Guard
+			}
+		}
+	}
+	if guard == "" {
+		return lockSite{}, false
+	}
+	root := rootIdent(sel.X)
+	if root == nil {
+		return lockSite{}, false
+	}
+	rv, ok := p.Info.Uses[root].(*types.Var)
+	if !ok {
+		return lockSite{}, false
+	}
+	if rv.Pos() >= fb.body.Pos() && rv.Pos() < fb.body.End() {
+		return lockSite{}, false // local fresh value, unshared
+	}
+	path := types.ExprString(sel.X)
+	return lockSite{
+		pos:  sel.Sel.Pos(),
+		key:  path + "." + guard,
+		what: "access to " + path + "." + v.Name(),
+	}, true
+}
+
+// holdsSites resolves call as an invocation of one or more
+// //filllint:holds functions (local or via fact) and returns the keys
+// the caller must hold. Only receiver-relative (undotted) guards are
+// enforceable at call sites: the callee's receiver is the caller's
+// selector base.
+func holdsSites(p *Pass, call *ast.CallExpr, holds map[*types.Func][]string) []lockSite {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil
+	}
+	fn, isFn := p.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return nil
+	}
+	specs := holds[fn]
+	if specs == nil && fn.Pkg() != nil && fn.Pkg() != p.Pkg {
+		var hf HoldsFact
+		if p.ImportObjectFact(fn, &hf) {
+			specs = hf.Guards
+		}
+	}
+	var sites []lockSite
+	base := types.ExprString(sel.X)
+	for _, spec := range specs {
+		if strings.Contains(spec, ".") {
+			continue
+		}
+		sites = append(sites, lockSite{
+			pos:  call.Pos(),
+			key:  base + "." + spec,
+			what: "call to " + base + "." + fn.Name() + " (declared //filllint:holds " + spec + ")",
+		})
+	}
+	return sites
+}
+
+// rootIdent returns the leftmost identifier of a selector/index chain,
+// or nil when the chain is rooted in something unnameable (a call, a
+// literal).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// derefNamed unwraps pointers to the named type underneath, if any.
+func derefNamed(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}

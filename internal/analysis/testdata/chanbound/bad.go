@@ -1,0 +1,12 @@
+// Seeded chanbound violations: unbuffered data channels in pipeline
+// code, by omission and by explicit zero capacity.
+package serve
+
+type job struct{ id int }
+
+func plumb() {
+	results := make(chan int) // want "unbuffered data channel of int"
+	jobs := make(chan job, 0) // want "unbuffered data channel of"
+	errs := make(chan error)  // want "unbuffered data channel of error"
+	_, _, _ = results, jobs, errs
+}

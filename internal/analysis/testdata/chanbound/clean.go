@@ -1,0 +1,13 @@
+// Clean chanbound patterns: sized data channels and unbuffered
+// struct{} signals.
+package serve
+
+type token = struct{}
+
+func plumb(workers int) {
+	results := make(chan int, workers)
+	errs := make(chan error, 1)
+	ready := make(chan struct{})
+	slots := make(chan token, workers)
+	_, _, _, _ = results, errs, ready, slots
+}

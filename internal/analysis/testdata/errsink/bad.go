@@ -1,0 +1,33 @@
+// Seeded errsink violations: whole-statement discards, blank-identifier
+// discards, an error assigned but never read on any path, and a stale
+// sink annotation.
+package fill
+
+import "errors"
+
+func mayFail() error { return errors.New("boom") }
+
+func mayFailPair() (int, error) { return 0, errors.New("boom") }
+
+//filllint:errsink
+func accounted() error { return nil }
+
+//filllint:errsink // want "stale //filllint:errsink: silent returns no error"
+func silent() {}
+
+func discards() int {
+	mayFail()             // want "error from mayFail is discarded"
+	_ = mayFail()         // want "error from mayFail is assigned to _"
+	v, _ := mayFailPair() // want "error from mayFailPair is assigned to _"
+	_ = accounted()       // annotated sink: callers may drop it
+	return v
+}
+
+func deadAssign(c bool) error {
+	err := mayFail() // want "err assigned from mayFail is never read on any path"
+	if c {
+		return nil
+	}
+	err = mayFail()
+	return err
+}

@@ -1,0 +1,52 @@
+// Clean errsink patterns: errors returned, branched on, accumulated
+// loop-carried, or consumed by a named result.
+package fill
+
+import "errors"
+
+func fallible() error { return errors.New("x") }
+
+func returned() error {
+	return fallible()
+}
+
+func branched() error {
+	if err := fallible(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func loopCarried(n int) error {
+	var err error
+	for i := 0; i < n; i++ {
+		if err != nil {
+			break
+		}
+		err = fallible()
+	}
+	return err
+}
+
+func namedResult() (err error) {
+	err = fallible()
+	return
+}
+
+// capturedFromClosure mirrors the sharded-emit worker shape: a closure
+// assigns the captured error as its last action and the enclosing
+// function reads it after the closure runs. Dead-def analysis on the
+// closure body alone must not call that assignment dropped.
+func capturedFromClosure(run func(func())) error {
+	var serr error
+	run(func() {
+		serr = fallible()
+	})
+	return serr
+}
+
+func stdlibDiscardOK() {
+	// Standard-library errors are outside errsink's contract; other
+	// analyzers and code review own those.
+	_ = errors.Unwrap(errors.New("x"))
+}

@@ -1,0 +1,16 @@
+// Package a is the exporter half of the facts round-trip fixture: one
+// fragile function whose error callers must handle, and one annotated
+// sink whose error they may drop. The errsink annotation must reach
+// package b as an exported fact — from live analysis on cold runs and
+// from the cache entry on warm ones.
+package a
+
+import "errors"
+
+// Fragile fails; callers must do something with the error.
+func Fragile() error { return errors.New("fragile") }
+
+// Accounted tracks its own failures.
+//
+//filllint:errsink
+func Accounted() error { return nil }

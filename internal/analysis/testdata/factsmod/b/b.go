@@ -1,0 +1,13 @@
+// Package b is the importer half of the facts round-trip fixture: it
+// drops both errors from package a. Exactly one is a finding — the
+// ErrSinkFact on Accounted licences the other.
+package b
+
+import "factsmod/a"
+
+// Use discards one fragile error (the finding) and one accounted error
+// (licenced by the imported fact).
+func Use() {
+	a.Fragile()
+	a.Accounted()
+}

@@ -1,0 +1,3 @@
+module factsmod
+
+go 1.22

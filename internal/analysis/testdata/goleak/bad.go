@@ -1,0 +1,25 @@
+// Seeded goleak violations: fire-and-forget goroutines with no join or
+// cancel edge, a completion signal nobody receives, and a named callee
+// with an unbounded body.
+package fill
+
+func spin() {
+	go func() { // want "no provable join or cancel edge"
+		for {
+		}
+	}()
+}
+
+func signalUnreceived() {
+	done := make(chan struct{})
+	go func() { // want "no provable join or cancel edge"
+		defer close(done)
+	}()
+	_ = done
+}
+
+func unboundedBody() {}
+
+func spawnNamed() {
+	go unboundedBody() // want "callee has no provable join or cancel edge"
+}

@@ -1,0 +1,56 @@
+// Clean goleak patterns: every concurrency idiom the module uses with a
+// provable join or cancel edge.
+package fill
+
+import (
+	"context"
+	"sync"
+)
+
+func wgJoined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+func ctxWatcher(ctx context.Context, abort func()) {
+	watcherDone := make(chan struct{})
+	go func() {
+		defer close(watcherDone)
+		<-ctx.Done()
+		abort()
+	}()
+	<-watcherDone
+}
+
+func doneSignal() error {
+	errs := make(chan error, 1)
+	go func() {
+		errs <- nil
+	}()
+	return <-errs
+}
+
+func selectSignal(stop chan struct{}) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	select {
+	case <-stop:
+	case <-done:
+	}
+}
+
+func joinableWorker(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func spawnJoinable(ctx context.Context) {
+	go joinableWorker(ctx)
+}

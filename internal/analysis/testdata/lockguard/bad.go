@@ -1,0 +1,68 @@
+// Seeded lockguard violations: guarded state touched without the guard,
+// branch-dependent locking, early release, unguarded goroutine access,
+// holds-contract call sites, and a stale guard annotation.
+package serve
+
+import "sync"
+
+type registry struct {
+	mu      sync.Mutex
+	entries map[string]int //filllint:guard mu
+	count   int            //filllint:guard mu
+}
+
+func (r *registry) unlocked(k string) int {
+	return r.entries[k] // want "access to r.entries requires r.mu held"
+}
+
+func (r *registry) locked(k string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.entries[k]
+}
+
+func (r *registry) branchy(k string, c bool) int {
+	if c {
+		r.mu.Lock()
+	}
+	v := r.entries[k] // want "requires r.mu held on every path"
+	if c {
+		r.mu.Unlock()
+	}
+	return v
+}
+
+func (r *registry) earlyRelease(k string) int {
+	r.mu.Lock()
+	r.count++
+	r.mu.Unlock()
+	return r.entries[k] // want "access to r.entries requires r.mu held"
+}
+
+func (r *registry) goroutineAccess() {
+	go func() {
+		r.count++ // want "access to r.count requires r.mu held"
+	}()
+}
+
+// locked callees: the caller must already hold the guard.
+//
+//filllint:holds mu
+func (r *registry) sizeLocked() int {
+	return len(r.entries)
+}
+
+func (r *registry) callsLockedBare() int {
+	return r.sizeLocked() // want "declared //filllint:holds mu"
+}
+
+func (r *registry) callsLockedHeld() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sizeLocked()
+}
+
+type misannotated struct {
+	notAMutex int
+	data      int //filllint:guard notAMutex // want "not a sync.Mutex/RWMutex sibling"
+}

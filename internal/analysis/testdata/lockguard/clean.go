@@ -1,0 +1,49 @@
+// Clean lockguard patterns: RWMutex read paths, lock-around-loop,
+// per-iteration locking, constructor initialization of fresh values,
+// and composite-literal field setting.
+package serve
+
+import "sync"
+
+type table struct {
+	mu   sync.RWMutex
+	rows map[string]int //filllint:guard mu
+}
+
+func newTable() *table {
+	t := &table{rows: map[string]int{}}
+	t.rows["seed"] = 1 // fresh value, unshared: exempt
+	return t
+}
+
+func (t *table) read(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rows[k]
+}
+
+func (t *table) write(k string, v int) {
+	t.mu.Lock()
+	t.rows[k] = v
+	t.mu.Unlock()
+}
+
+func (t *table) sum(keys []string) int {
+	s := 0
+	t.mu.RLock()
+	for _, k := range keys {
+		s += t.rows[k]
+	}
+	t.mu.RUnlock()
+	return s
+}
+
+func (t *table) perKey(keys []string) int {
+	s := 0
+	for _, k := range keys {
+		t.mu.RLock()
+		s += t.rows[k]
+		t.mu.RUnlock()
+	}
+	return s
+}

@@ -1,0 +1,39 @@
+// Serving-layer shape: the drain gate. The jobs accounting must be
+// ordered against the draining flip through drainMu, exactly like
+// internal/serve's Server; the drain goroutine waiting outside the lock
+// is the documented waiver pattern there — here, unwaived, it is the
+// seeded finding.
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type drainGate struct {
+	drainMu  sync.RWMutex
+	draining atomic.Bool
+	jobs     sync.WaitGroup //filllint:guard drainMu
+}
+
+func (g *drainGate) begin() bool {
+	g.drainMu.RLock()
+	defer g.drainMu.RUnlock()
+	if g.draining.Load() {
+		return false
+	}
+	g.jobs.Add(1)
+	return true
+}
+
+func (g *drainGate) shutdown() {
+	g.drainMu.Lock()
+	g.draining.Store(true)
+	g.drainMu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		g.jobs.Wait() // want "access to g.jobs requires g.drainMu held"
+		close(done)
+	}()
+	<-done
+}

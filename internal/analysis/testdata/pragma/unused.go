@@ -1,0 +1,19 @@
+// An allow pragma that waives nothing is stale: the finding it once
+// suppressed is gone, and keeping it would silently disarm the analyzer
+// for whatever lands on that line next.
+package mcf
+
+import "fmt"
+
+//filllint:allow nopanic -- stale: nothing panics here anymore // want "unused allow pragma: nopanic reports nothing"
+func calm() error {
+	return fmt.Errorf("solver fallback")
+}
+
+func used(n int) int {
+	if n < 0 {
+		//filllint:allow nopanic -- seeded fixture violation stays waived
+		panic("negative")
+	}
+	return n
+}
