@@ -1,26 +1,44 @@
 // Command filllint runs the repo's invariant analyzers (internal/analysis)
 // over every package of the module and fails on any finding. It is the CI
-// analysis gate behind the determinism, context-flow, pool, narrowing and
-// no-panic contracts; see DESIGN.md §10 for what each analyzer enforces
-// and why.
+// analysis gate behind the determinism, context-flow, pool, locking,
+// goroutine-lifecycle, error-flow, narrowing and no-panic contracts; see
+// DESIGN.md §10 and §15 for what each analyzer enforces and why.
 //
 // Usage:
 //
-//	filllint [-json] [-analyzers list] [-list] [packages]
+//	filllint [-json] [-analyzers list] [-parallel n] [-cache dir] [-list] [packages]
 //
 // Packages may be "./..." (the default: the whole module) or
 // module-relative package directories like ./internal/fill. The whole
-// module is always loaded (analyzers need type information across package
+// module is always analyzed (analyzers exchange facts across package
 // boundaries); the patterns only select which packages' findings are
 // reported.
 //
+// -parallel caps concurrently analyzed packages (default: GOMAXPROCS).
+// -cache names a directory of per-package findings+facts entries keyed
+// by content chain hashes; warm runs skip type-checking and analysis for
+// unchanged packages. Findings are globally sorted, so output — plain or
+// -json — is byte-for-byte identical across -parallel values and across
+// cold and warm cache states.
+//
 // Exit status: 0 clean, 1 findings reported, 2 load or usage error.
+// Cache trouble is never load trouble: missing, torn, or unwritable
+// cache entries degrade to re-analysis (counted as cache-errors in the
+// stats line) and cannot turn a clean run into a failing one.
+//
+// Every run prints a machine-readable accounting line to stderr:
+//
+//	filllint: packages=N analyzed=X cached=Y cached-facts=Z findings=F
+//
+// with a trailing " cache-errors=E" field when any entries were torn or
+// unwritable.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -32,13 +50,15 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, stdout, stderr *os.File) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("filllint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
 	names := fs.String("analyzers", "", "comma-separated analyzers to run (default: all); prefix with - to disable instead")
 	list := fs.Bool("list", false, "list available analyzers and exit")
 	dir := fs.String("C", ".", "module root (directory containing go.mod)")
+	parallel := fs.Int("parallel", 0, "max concurrently analyzed packages (0 = GOMAXPROCS)")
+	cacheDir := fs.String("cache", "", "findings+facts cache directory (empty = no cache)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -62,11 +82,6 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintln(stderr, "filllint:", err)
 		return 2
 	}
-	pkgs, err := analysis.LoadModule(root)
-	if err != nil {
-		fmt.Fprintln(stderr, "filllint:", err)
-		return 2
-	}
 
 	match, err := packageFilter(fs.Args())
 	if err != nil {
@@ -74,14 +89,22 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	}
 
-	var diags []analysis.Diagnostic
-	for _, pkg := range pkgs {
-		if !match(pkg.Dir) {
-			continue
-		}
-		diags = append(diags, analysis.RunAnalyzers(enabled, pkg)...)
+	res, err := analysis.RunDriver(root, analysis.DriverOptions{
+		Analyzers: enabled,
+		Parallel:  *parallel,
+		CacheDir:  *cacheDir,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "filllint:", err)
+		return 2
 	}
-	analysis.SortDiagnostics(diags)
+
+	diags := res.Diagnostics[:0:0]
+	for _, d := range res.Diagnostics {
+		if match(pkgDirOf(root, d.Pos.Filename)) {
+			diags = append(diags, d)
+		}
+	}
 
 	if *jsonOut {
 		type jsonDiag struct {
@@ -106,11 +129,29 @@ func run(args []string, stdout, stderr *os.File) int {
 			fmt.Fprintln(stdout, d)
 		}
 	}
+
+	s := res.Stats
+	fmt.Fprintf(stderr, "filllint: packages=%d analyzed=%d cached=%d cached-facts=%d findings=%d",
+		s.Packages, s.Analyzed, s.Cached, s.CachedFacts, len(diags))
+	if s.CacheErrors > 0 {
+		fmt.Fprintf(stderr, " cache-errors=%d", s.CacheErrors)
+	}
+	fmt.Fprintln(stderr)
+
 	if len(diags) > 0 {
-		fmt.Fprintf(stderr, "filllint: %d finding(s)\n", len(diags))
 		return 1
 	}
 	return 0
+}
+
+// pkgDirOf maps a diagnostic's file back to its module-relative package
+// dir for pattern matching.
+func pkgDirOf(root, file string) string {
+	rel, err := filepath.Rel(root, file)
+	if err != nil {
+		return file
+	}
+	return filepath.ToSlash(filepath.Dir(rel))
 }
 
 // selectAnalyzers resolves the -analyzers flag: empty means all, a plain

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module for the CLI to analyze:
+// package a exports a fragile function and an annotated sink, package b
+// discards both errors. Exactly one finding (the fragile discard) when
+// dirty is true; none when it handles the error instead.
+func writeModule(t *testing.T, dirty bool) string {
+	t.Helper()
+	root := t.TempDir()
+	drop := "func Drop() error {\n\ta.Accounted()\n\treturn a.Fail()\n}\n"
+	if dirty {
+		drop = "func Drop() {\n\ta.Fail()\n\ta.Accounted()\n}\n"
+	}
+	files := map[string]string{
+		"go.mod": "module tmod\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nimport \"errors\"\n\nfunc Fail() error { return errors.New(\"x\") }\n\n// Accounted tracks its own failures.\n//\n//filllint:errsink\nfunc Accounted() error { return nil }\n",
+		"b/b.go": "package b\n\nimport \"tmod/a\"\n\n" + drop,
+	}
+	for name, src := range files {
+		path := filepath.Join(root, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// lint invokes the CLI entry point directly and returns (exit, stdout, stderr).
+func lint(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestExitTaxonomy(t *testing.T) {
+	clean := writeModule(t, false)
+	if code, out, stderr := lint(t, "-C", clean); code != 0 {
+		t.Fatalf("clean module: exit %d\nstdout:\n%s\nstderr:\n%s", code, out, stderr)
+	}
+
+	dirty := writeModule(t, true)
+	code, out, _ := lint(t, "-C", dirty)
+	if code != 1 {
+		t.Fatalf("dirty module: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "Fail") || strings.Contains(out, "Accounted") {
+		t.Fatalf("findings should name Fail and spare the annotated Accounted:\n%s", out)
+	}
+
+	if code, _, _ := lint(t, "-C", dirty, "-analyzers", "nosuch"); code != 2 {
+		t.Fatalf("unknown analyzer: exit %d, want 2", code)
+	}
+	if code, _, _ := lint(t, "-C", t.TempDir()); code != 2 {
+		t.Fatalf("-C outside any module: exit %d, want 2", code)
+	}
+	if code, _, _ := lint(t, "-C", dirty, "./a/.../b"); code != 2 {
+		t.Fatalf("unsupported pattern: exit %d, want 2", code)
+	}
+}
+
+func TestPackageFilterScopesFindings(t *testing.T) {
+	dirty := writeModule(t, true)
+	if code, out, _ := lint(t, "-C", dirty, "./a"); code != 0 || strings.TrimSpace(out) != "" {
+		t.Fatalf("filter ./a should hide b's finding: exit %d\n%s", code, out)
+	}
+	if code, out, _ := lint(t, "-C", dirty, "./b"); code != 1 || !strings.Contains(out, "Fail") {
+		t.Fatalf("filter ./b should keep the finding: exit %d\n%s", code, out)
+	}
+}
+
+// TestJSONDeterministicAcrossParallel is the output contract: -json bytes
+// are identical whatever the parallelism and whether the cache is cold
+// or warm.
+func TestJSONDeterministicAcrossParallel(t *testing.T) {
+	dirty := writeModule(t, true)
+	var want string
+	for _, p := range []string{"1", "2", "8"} {
+		cache := t.TempDir()
+		for _, state := range []string{"cold", "warm"} {
+			code, out, stderr := lint(t, "-C", dirty, "-json", "-parallel", p, "-cache", cache)
+			if code != 1 {
+				t.Fatalf("parallel=%s %s: exit %d\n%s", p, state, code, stderr)
+			}
+			if want == "" {
+				want = out
+			}
+			if out != want {
+				t.Fatalf("parallel=%s %s output differs:\n%s\nwant:\n%s", p, state, out, want)
+			}
+			if state == "warm" && !strings.Contains(stderr, "cached=2") {
+				t.Fatalf("warm run did not hit cache: %s", stderr)
+			}
+		}
+	}
+}
+
+// TestWarmRunServesFactsFromCache pins the stats line the CI warm-cache
+// step greps: a warm run reports cache hits and a nonzero cached-facts
+// count (the errsink annotation in package a rides the cache).
+func TestWarmRunServesFactsFromCache(t *testing.T) {
+	clean := writeModule(t, false)
+	cache := t.TempDir()
+	if code, _, stderr := lint(t, "-C", clean, "-cache", cache); code != 0 {
+		t.Fatalf("cold: exit %d\n%s", code, stderr)
+	}
+	code, _, stderr := lint(t, "-C", clean, "-cache", cache)
+	if code != 0 {
+		t.Fatalf("warm: exit %d\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "analyzed=0") || !strings.Contains(stderr, "cached=2") {
+		t.Fatalf("warm stats: %s", stderr)
+	}
+	if strings.Contains(stderr, "cached-facts=0") {
+		t.Fatalf("warm run should serve a's errsink fact from cache: %s", stderr)
+	}
+}
+
+// TestTornCacheDegradesNotDies: corrupt cache entries degrade to
+// re-analysis with identical findings and exit status — never exit 2.
+func TestTornCacheDegradesNotDies(t *testing.T) {
+	dirty := writeModule(t, true)
+	cache := t.TempDir()
+	_, want, _ := lint(t, "-C", dirty, "-cache", cache)
+
+	ents, err := os.ReadDir(cache)
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("cache dir not populated: %v (%d entries)", err, len(ents))
+	}
+	for _, e := range ents {
+		if err := os.WriteFile(filepath.Join(cache, e.Name()), []byte("torn"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	code, out, stderr := lint(t, "-C", dirty, "-cache", cache)
+	if code != 1 {
+		t.Fatalf("torn cache changed exit status: %d\n%s", code, stderr)
+	}
+	if out != want {
+		t.Fatalf("torn cache changed findings:\n%s\nwant:\n%s", out, want)
+	}
+	if !strings.Contains(stderr, "cache-errors=") {
+		t.Fatalf("torn entries unreported: %s", stderr)
+	}
+
+	// The degraded run rewrote good entries; the next one is warm again.
+	if _, _, stderr := lint(t, "-C", dirty, "-cache", cache); !strings.Contains(stderr, "cached=2") {
+		t.Fatalf("cache did not recover after degrade: %s", stderr)
+	}
+}

@@ -283,29 +283,37 @@ func TestFilllintCommand(t *testing.T) {
 	lint := buildTool(t, "filllint")
 	root := repoRoot(t)
 
-	runAt := func(args ...string) string {
+	// Findings go to stdout; the stats accounting line goes to stderr.
+	runAt := func(args ...string) (stdout, stderr string) {
 		t.Helper()
 		cmd := exec.Command(lint, args...)
 		cmd.Dir = root
-		out, err := cmd.CombinedOutput()
-		if err != nil {
-			t.Fatalf("filllint %v: %v\n%s", args, err, out)
+		var out, errb strings.Builder
+		cmd.Stdout = &out
+		cmd.Stderr = &errb
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("filllint %v: %v\n%s%s", args, err, out.String(), errb.String())
 		}
-		return string(out)
+		return out.String(), errb.String()
 	}
 
-	out := runAt("-list")
-	for _, name := range []string{"nodeterm", "ctxflow", "poolpair", "geomcast", "nopanic"} {
+	out, _ := runAt("-list")
+	for _, name := range []string{"nodeterm", "ctxflow", "poolpair", "geomcast", "nopanic",
+		"lockguard", "goleak", "errsink", "chanbound"} {
 		if !strings.Contains(out, name) {
 			t.Fatalf("filllint -list missing %s:\n%s", name, out)
 		}
 	}
 
-	if out = runAt("./..."); strings.TrimSpace(out) != "" {
+	out, stats := runAt("./...")
+	if strings.TrimSpace(out) != "" {
 		t.Fatalf("filllint found violations in the tree:\n%s", out)
 	}
+	if !strings.Contains(stats, "findings=0") {
+		t.Fatalf("filllint stats line missing:\n%s", stats)
+	}
 
-	out = runAt("-json", "-analyzers", "nodeterm,nopanic", "./internal/mcf", "./internal/lps/...")
+	out, _ = runAt("-json", "-analyzers", "nodeterm,nopanic", "./internal/mcf", "./internal/lps/...")
 	var findings []map[string]any
 	if err := json.Unmarshal([]byte(out), &findings); err != nil {
 		t.Fatalf("filllint -json output not JSON: %v\n%s", err, out)
