@@ -169,6 +169,11 @@ func TestReaderErrors(t *testing.T) {
 		{"unexpected END", "END NETS\n"},
 		{"hostile row repetition", "ROW a cs 0 0 N DO 9999999999 BY 9999999999 STEP 1 1 ;\nCOMPONENTS 0 ;\n"},
 		{"hostile row pitch", "ROW a cs 0 0 N DO 2 BY 2 STEP 99999999999999 99999999999999 ;\nCOMPONENTS 0 ;\n"},
+		// Rows-only decks derive their lattice at END DESIGN / EOF instead
+		// of at COMPONENTS; an inconsistent ROW set must fail there too,
+		// not silently parse without a lattice.
+		{"inconsistent rows-only deck", "ROW a cs 0 0 N DO 4 BY 1 STEP 10 0 ;\nROW b cs 0 50 N DO 4 BY 1 STEP 20 0 ;\nEND DESIGN\n"},
+		{"inconsistent rows-only deck at EOF", "ROW a cs 0 0 N DO 4 BY 1 STEP 10 0 ;\nROW b cs 0 50 N DO 4 BY 1 STEP 20 0 ;\n"},
 	}
 	for _, c := range cases {
 		if _, _, err := readAll(t, c.in); err == nil {

@@ -73,7 +73,10 @@ func (sr *shapeReader) Next() (layio.Shape, error) {
 	for {
 		stmt, err := sr.nextStmt()
 		if err == io.EOF {
-			sr.finishHeader()
+			if ferr := sr.finishHeader(); ferr != nil {
+				sr.err = ferr
+				return layio.Shape{}, ferr
+			}
 			return layio.Shape{}, io.EOF
 		}
 		if err != nil {
@@ -136,7 +139,10 @@ func (sr *shapeReader) Next() (layio.Shape, error) {
 				sr.inComponents = false
 			case "DESIGN":
 				sr.ended = true
-				sr.finishHeader()
+				if err := sr.finishHeader(); err != nil {
+					sr.err = err
+					return layio.Shape{}, err
+				}
 				return layio.Shape{}, io.EOF
 			default:
 				return sr.fail("unexpected END %s", what)
@@ -150,15 +156,20 @@ func (sr *shapeReader) Next() (layio.Shape, error) {
 // finishHeader synthesizes the layout metadata a DEF deck implies: the
 // derived lattice and permissive fill rules (abutting fillers are legal
 // on a placement lattice, so MinSpace is 0 and the free regions are the
-// exact complement of the placed components).
-func (sr *shapeReader) finishHeader() {
+// exact complement of the placed components). An inconsistent ROW set in
+// a rows-only deck fails the read, exactly as it would have at
+// COMPONENTS.
+func (sr *shapeReader) finishHeader() error {
 	if sr.hdr.Sites == nil {
-		_ = sr.deriveSites() // no components seen; best-effort for rows-only decks
+		if err := sr.deriveSites(); err != nil {
+			return err
+		}
 	}
 	sr.hdr.Rules = layout.Rules{MinWidth: 1, MinSpace: 0, MinArea: 1}
 	if sr.hdr.NumLayers == 0 && sr.hdr.Sites != nil {
 		sr.hdr.NumLayers = 1
 	}
+	return nil
 }
 
 // deriveSites folds the accumulated ROW statements into one uniform
