@@ -81,7 +81,11 @@ func (g *Graph) Supply(i int) int64 { return g.supply[i] }
 // an error wrapping ErrBadArc instead of being stored. The error is also
 // recorded on the graph (see Err), so callers building many arcs may
 // ignore the per-call error and check once before solving — the solvers
-// refuse to run a graph with a recorded construction error.
+// refuse to run a graph with a recorded construction error. That sticky
+// record is why the errsink annotation below holds: a dropped per-call
+// error is never lost, it resurfaces from the first Solve attempt.
+//
+//filllint:errsink
 func (g *Graph) AddArc(from, to int, cap, cost int64) (int, error) {
 	if from < 0 || from >= len(g.supply) || to < 0 || to >= len(g.supply) {
 		return -1, g.fail(&SolverError{Op: "addarc", Err: fmt.Errorf("%w: endpoint out of range (%d,%d) with %d nodes", ErrBadArc, from, to, len(g.supply))})
