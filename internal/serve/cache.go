@@ -20,8 +20,8 @@ import (
 type layoutCache struct {
 	mu      sync.Mutex
 	cap     int
-	entries map[string]*cacheEntry
-	lru     *list.List // front = most recent; values are keys
+	entries map[string]*cacheEntry //filllint:guard mu
+	lru     *list.List             //filllint:guard mu -- front = most recent; values are keys
 }
 
 type cacheEntry struct {
