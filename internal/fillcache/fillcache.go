@@ -32,6 +32,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 
 	"dummyfill/internal/geom"
@@ -98,6 +99,14 @@ type Cache struct {
 
 	hits, misses, corrupt atomic.Int64
 	puts, putErrors       atomic.Int64
+
+	// gcMu serializes in-process GC passes: two concurrent passes over
+	// the same directory would race the walk, double-count removals, and
+	// publish interleaved results. Cross-process GC safety still comes
+	// from whole-file semantics (atomic rename, whole-file deletes), not
+	// from this lock.
+	gcMu   sync.Mutex
+	lastGC GCResult //filllint:guard gcMu
 }
 
 // Open returns a cache rooted at dir, creating the directory if needed.
