@@ -42,6 +42,7 @@ func (p *Profiling) RegisterFlags(fs *flag.FlagSet) {
 func (p *Profiling) Start() (stop func(), err error) {
 	if p.PprofAddr != "" {
 		addr := p.PprofAddr
+		//filllint:allow goleak -- the debug pprof listener intentionally lives for the whole process; there is no join or cancel edge to prove
 		go func() {
 			if err := http.ListenAndServe(addr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "pprof server:", err)
